@@ -1,0 +1,189 @@
+// Command locaware-exp regenerates the Locaware paper's evaluation figures
+// and the ablation/extension experiments documented in DESIGN.md.
+//
+// Figures (paper §5.2):
+//
+//	locaware-exp -fig 2      # download distance vs #queries (Fig. 2)
+//	locaware-exp -fig 3      # search traffic vs #queries   (Fig. 3)
+//	locaware-exp -fig 4      # success rate vs #queries     (Fig. 4)
+//	locaware-exp -fig all    # everything + headline claims
+//
+// Ablations/extensions:
+//
+//	locaware-exp -ablation landmarks   # 3/4/5 landmarks (§5.1 discussion)
+//	locaware-exp -ablation cachesize   # RI capacity sweep
+//	locaware-exp -ablation bloom       # Bloom filter size sweep
+//	locaware-exp -ablation groups      # Dicas group count M sweep
+//	locaware-exp -extension lr         # location-aware routing (§6)
+//	locaware-exp -extension churn      # churn resilience
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	locaware "github.com/p2prepro/locaware"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure to regenerate: 2|3|4|all")
+		ablation = flag.String("ablation", "", "ablation: landmarks|cachesize|bloom|groups")
+		ext      = flag.String("extension", "", "extension: lr|churn")
+		peers    = flag.Int("peers", 1000, "number of peers")
+		warmup   = flag.Int("warmup", 1000, "warmup queries")
+		queries  = flag.Int("queries", 2000, "measured queries")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	opts := locaware.DefaultOptions()
+	opts.Seed = *seed
+	opts.Peers = *peers
+
+	switch {
+	case *fig != "":
+		runFigures(opts, *fig, *warmup, *queries, *csv)
+	case *ablation != "":
+		runAblation(opts, *ablation, *warmup, *queries)
+	case *ext != "":
+		runExtension(opts, *ext, *warmup, *queries)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func figureOf(name string) (locaware.Figure, string) {
+	switch name {
+	case "2":
+		return locaware.FigureDownloadDistance, "Figure 2: download distance (ms) vs number of queries"
+	case "3":
+		return locaware.FigureSearchTraffic, "Figure 3: search traffic (messages/query) vs number of queries"
+	case "4":
+		return locaware.FigureSuccessRate, "Figure 4: success rate vs number of queries"
+	}
+	return "", ""
+}
+
+func runFigures(opts locaware.Options, which string, warmup, queries int, csv bool) {
+	cmp, err := locaware.Compare(opts, locaware.Baselines(), warmup, queries, nil)
+	if err != nil {
+		fatal(err)
+	}
+	names := []string{which}
+	if which == "all" {
+		names = []string{"2", "3", "4"}
+	}
+	for _, name := range names {
+		f, title := figureOf(name)
+		if f == "" {
+			fatal(fmt.Errorf("unknown figure %q", name))
+		}
+		fmt.Println("==", title)
+		if csv {
+			fmt.Print(cmp.FigureCSV(f))
+		} else {
+			fmt.Print(cmp.FigureTable(f))
+		}
+		fmt.Println()
+	}
+	if which == "all" {
+		h := cmp.Headlines()
+		fmt.Println("== Headline claims (paper: -14% distance, -98% traffic, +23%/+33% hit ratio)")
+		fmt.Printf("download distance vs others   %+.1f%%\n", 100*h.DistanceReduction)
+		fmt.Printf("search traffic vs flooding    %+.1f%%\n", 100*h.TrafficReductionVsFlooding)
+		fmt.Printf("success rate vs Dicas         %+.1f%%\n", 100*h.HitGainVsDicas)
+		fmt.Printf("success rate vs Dicas-Keys    %+.1f%%\n", 100*h.HitGainVsDicasKeys)
+		fmt.Println()
+		fmt.Println("== Per-protocol summary")
+		for _, r := range cmp.Results {
+			fmt.Printf("%-12s success=%.3f msgs/q=%8.2f rtt=%6.1fms sameLoc=%.3f gossip=%d msgs\n",
+				r.Protocol, r.SuccessRate, r.AvgMessagesPerQuery, r.AvgDownloadRTTMs,
+				r.SameLocalityRate, r.ControlMessages)
+		}
+	}
+}
+
+func runAblation(opts locaware.Options, which string, warmup, queries int) {
+	switch which {
+	case "landmarks":
+		fmt.Println("== Ablation: landmark count (paper §5.1: 4 landmarks → 24 locIds; 5 scatter peers too thinly)")
+		fmt.Printf("%-10s %12s %14s %12s\n", "landmarks", "success", "rtt(ms)", "sameLoc")
+		for _, k := range []int{3, 4, 5} {
+			o := opts
+			o.Landmarks = k
+			r := mustRun(o, locaware.ProtocolLocaware, warmup, queries)
+			fmt.Printf("%-10d %12.3f %14.1f %12.3f\n", k, r.SuccessRate, r.AvgDownloadRTTMs, r.SameLocalityRate)
+		}
+	case "cachesize":
+		fmt.Println("== Ablation: response-index capacity (paper: 50 filenames)")
+		fmt.Printf("%-10s %12s %14s %12s\n", "capacity", "success", "rtt(ms)", "msgs/q")
+		for _, c := range []int{10, 25, 50, 100, 200} {
+			o := opts
+			o.CacheFilenames = c
+			r := mustRun(o, locaware.ProtocolLocaware, warmup, queries)
+			fmt.Printf("%-10d %12.3f %14.1f %12.2f\n", c, r.SuccessRate, r.AvgDownloadRTTMs, r.AvgMessagesPerQuery)
+		}
+	case "bloom":
+		fmt.Println("== Ablation: Bloom filter size (paper: 1200 bits for 50 filenames × 3 keywords)")
+		fmt.Printf("%-10s %12s %12s %16s\n", "bits", "success", "msgs/q", "gossip kbit")
+		for _, bits := range []int{300, 600, 1200, 2400} {
+			o := opts
+			o.BloomBits = bits
+			r := mustRun(o, locaware.ProtocolLocaware, warmup, queries)
+			fmt.Printf("%-10d %12.3f %12.2f %16.1f\n", bits, r.SuccessRate, r.AvgMessagesPerQuery, r.ControlKbits)
+		}
+	case "groups":
+		fmt.Println("== Ablation: Dicas group count M (caching density vs routing selectivity)")
+		fmt.Printf("%-10s %12s %12s %12s\n", "M", "success", "msgs/q", "cached")
+		for _, m := range []int{2, 4, 8, 16} {
+			o := opts
+			o.Groups = m
+			r := mustRun(o, locaware.ProtocolLocaware, warmup, queries)
+			fmt.Printf("%-10d %12.3f %12.2f %12d\n", m, r.SuccessRate, r.AvgMessagesPerQuery, r.CachedFilenames)
+		}
+	default:
+		fatal(fmt.Errorf("unknown ablation %q", which))
+	}
+}
+
+func runExtension(opts locaware.Options, which string, warmup, queries int) {
+	switch which {
+	case "lr":
+		fmt.Println("== Extension: location-aware routing (paper §6 future work)")
+		fmt.Printf("%-14s %12s %14s %12s %12s\n", "protocol", "success", "rtt(ms)", "sameLoc", "msgs/q")
+		for _, p := range []locaware.Protocol{locaware.ProtocolLocaware, locaware.ProtocolLocawareLR} {
+			r := mustRun(opts, p, warmup, queries)
+			fmt.Printf("%-14s %12.3f %14.1f %12.3f %12.2f\n", r.Protocol, r.SuccessRate, r.AvgDownloadRTTMs, r.SameLocalityRate, r.AvgMessagesPerQuery)
+		}
+	case "churn":
+		fmt.Println("== Extension: churn resilience (stale indexes filtered at selection)")
+		fmt.Printf("%-14s %10s %12s %14s\n", "protocol", "churn", "success", "rtt(ms)")
+		for _, p := range []locaware.Protocol{locaware.ProtocolDicas, locaware.ProtocolLocaware} {
+			for _, churn := range []bool{false, true} {
+				o := opts
+				o.Churn = churn
+				r := mustRun(o, p, warmup, queries)
+				fmt.Printf("%-14s %10v %12.3f %14.1f\n", r.Protocol, churn, r.SuccessRate, r.AvgDownloadRTTMs)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown extension %q", which))
+	}
+}
+
+func mustRun(o locaware.Options, p locaware.Protocol, warmup, queries int) *locaware.Result {
+	r, err := locaware.Run(o, p, warmup, queries)
+	if err != nil {
+		fatal(err)
+	}
+	return r
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "locaware-exp:", err)
+	os.Exit(1)
+}

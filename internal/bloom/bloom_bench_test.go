@@ -1,0 +1,102 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchWords(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("kw%05d", i)
+	}
+	return out
+}
+
+func BenchmarkFilterAdd(b *testing.B) {
+	f := PaperFilter()
+	words := benchWords(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(words[i&1023])
+	}
+}
+
+func BenchmarkFilterTest(b *testing.B) {
+	f := PaperFilter()
+	words := benchWords(1024)
+	for _, w := range words[:150] {
+		f.Add(w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Test(words[i&1023])
+	}
+}
+
+func BenchmarkFilterTestAllQuery(b *testing.B) {
+	f := PaperFilter()
+	words := benchWords(150)
+	for _, w := range words {
+		f.Add(w)
+	}
+	query := []string{words[3], words[77], words[149]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.TestAll(query)
+	}
+}
+
+func BenchmarkCountingAddRemove(b *testing.B) {
+	c := NewCounting(1200, 6)
+	words := benchWords(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := words[i&255]
+		c.Add(w)
+		c.Remove(w)
+	}
+}
+
+func BenchmarkSnapshotAndDiff(b *testing.B) {
+	c := NewCounting(1200, 6)
+	for _, w := range benchWords(60) {
+		c.Add(w)
+	}
+	prev := c.Snapshot()
+	c.Add("extra-one")
+	c.Add("extra-two")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := c.Snapshot()
+		if _, err := DiffFilters(prev, cur); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBloomSizing reports the measured false-positive rate of each
+// candidate filter size at the paper's worst-case load (a full response
+// index: 50 filenames × 3 keywords = 150 elements). This is the
+// data-structure-level justification for §5.1's 1200-bit choice.
+func BenchmarkBloomSizing(b *testing.B) {
+	for _, bits := range []int{300, 600, 1200, 2400} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			for iter := 0; iter < b.N; iter++ {
+				f := New(bits, OptimalK(bits, 150))
+				for _, w := range benchWords(150) {
+					f.Add(w)
+				}
+				fp := 0
+				const probes = 10000
+				for i := 0; i < probes; i++ {
+					if f.Test(fmt.Sprintf("absent%05d", i)) {
+						fp++
+					}
+				}
+				b.ReportMetric(float64(fp)/probes, "fpr")
+				b.ReportMetric(f.FillRatio(), "fill")
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Filter is a plain Bloom filter over strings: an m-bit vector with k hash
+// functions. It never returns false negatives; it may return false
+// positives (§4.2). This is the representation peers exchange with
+// neighbours.
+type Filter struct {
+	m    uint32
+	k    int
+	bits []uint64
+}
+
+// ErrMismatch reports an operation across filters of different geometry.
+var ErrMismatch = errors.New("bloom: filter geometry mismatch")
+
+// New returns an m-bit filter with k hash functions. The paper's setting is
+// m=1200 (covering an enlarged response index of 50 filenames × 3 keywords)
+// with k near optimal for 150 elements.
+func New(m, k int) *Filter {
+	if m < 8 {
+		m = 8
+	}
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{m: uint32(m), k: k, bits: make([]uint64, (m+63)/64)}
+}
+
+// PaperFilter returns the filter configured exactly as in §5.1: 1200 bits,
+// k optimal for 150 keywords.
+func PaperFilter() *Filter { return New(1200, OptimalK(1200, 150)) }
+
+// M returns the filter size in bits.
+func (f *Filter) M() int { return int(f.m) }
+
+// K returns the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Add inserts s.
+func (f *Filter) Add(s string) {
+	idx := make([]uint32, f.k)
+	indexes(s, f.m, idx)
+	for _, i := range idx {
+		f.bits[i/64] |= 1 << (i % 64)
+	}
+}
+
+// Test reports whether s may be in the set. False means definitely absent.
+func (f *Filter) Test(s string) bool {
+	idx := make([]uint32, f.k)
+	indexes(s, f.m, idx)
+	for _, i := range idx {
+		if f.bits[i/64]&(1<<(i%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAll reports whether every string in ss may be in the set — the "BF
+// matches q" predicate of §4.2 (all query keywords must be members).
+func (f *Filter) TestAll(ss []string) bool {
+	for _, s := range ss {
+		if !f.Test(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// BitSet reports whether bit i is set.
+func (f *Filter) BitSet(i int) bool {
+	if i < 0 || uint32(i) >= f.m {
+		return false
+	}
+	return f.bits[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// setBit forces bit i to v; used when applying deltas.
+func (f *Filter) setBit(i uint32, v bool) {
+	if v {
+		f.bits[i/64] |= 1 << (i % 64)
+	} else {
+		f.bits[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// PopCount returns the number of set bits.
+func (f *Filter) PopCount() int {
+	c := 0
+	for _, w := range f.bits {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 { return float64(f.PopCount()) / float64(f.m) }
+
+// EstimatedFPR estimates the current false-positive rate from the fill
+// ratio: (fill)^k.
+func (f *Filter) EstimatedFPR() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+// Clone returns an independent copy.
+func (f *Filter) Clone() *Filter {
+	cp := &Filter{m: f.m, k: f.k, bits: make([]uint64, len(f.bits))}
+	copy(cp.bits, f.bits)
+	return cp
+}
+
+// Reset clears all bits.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+}
+
+// Equal reports whether two filters have identical geometry and contents.
+func (f *Filter) Equal(o *Filter) bool {
+	if f.m != o.m || f.k != o.k {
+		return false
+	}
+	for i := range f.bits {
+		if f.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyFrom overwrites f's contents with o's. Geometry must match.
+func (f *Filter) CopyFrom(o *Filter) error {
+	if f.m != o.m || f.k != o.k {
+		return ErrMismatch
+	}
+	copy(f.bits, o.bits)
+	return nil
+}
+
+// String summarises the filter.
+func (f *Filter) String() string {
+	return fmt.Sprintf("bloom{m=%d k=%d fill=%.3f}", f.m, f.k, f.FillRatio())
+}

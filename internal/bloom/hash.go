@@ -1,0 +1,61 @@
+// Package bloom implements the Bloom filters Locaware uses to summarise the
+// keywords of filenames cached in a peer's response index (§4.2). It
+// provides a plain bit-vector filter (what peers gossip to neighbours), a
+// counting filter (what a peer maintains locally so keyword deletions are
+// possible when indexes are evicted), and the compact changed-bit delta
+// encoding of footnote 1 (≤12 changed bits × 11 bits of position = 0.132 Kb
+// per update for a 1200-bit filter).
+package bloom
+
+import "hash/fnv"
+
+// hashPair returns two independent 64-bit hashes of s, used for
+// Kirsch–Mitzenmacher double hashing: g_i(x) = h1(x) + i*h2(x). FNV-1a has
+// weak avalanche in its high bits, so both outputs go through a
+// splitmix64-style finaliser to decorrelate them.
+func hashPair(s string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	base := h.Sum64()
+	h1 := mix64(base)
+	h2 := mix64(base ^ 0x9e3779b97f4a7c15)
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+// mix64 is the splitmix64 finaliser (Stafford variant 13), a bijective
+// avalanche mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// indexes fills idx with the k bit positions of s in an m-bit filter.
+func indexes(s string, m uint32, idx []uint32) {
+	h1, h2 := hashPair(s)
+	for i := range idx {
+		idx[i] = uint32((h1 + uint64(i)*h2) % uint64(m))
+	}
+}
+
+// OptimalK returns the false-positive-minimising number of hash functions
+// for an m-bit filter expected to hold n elements: k = (m/n) ln 2.
+func OptimalK(m, n int) int {
+	if n <= 0 || m <= 0 {
+		return 1
+	}
+	k := int(float64(m)/float64(n)*0.6931471805599453 + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return k
+}

@@ -1,0 +1,133 @@
+// Package core assembles the substrates into runnable Locaware experiments:
+// it builds the physical model, landmarks, overlay, nodes and workload from
+// one seeded configuration, drives query submission through a protocol
+// behaviour, and harvests the paper's metrics. The figure-regeneration
+// harness and the public facade sit on top of this package.
+package core
+
+import (
+	"github.com/p2prepro/locaware/internal/cache"
+	"github.com/p2prepro/locaware/internal/netmodel"
+	"github.com/p2prepro/locaware/internal/overlay"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/workload"
+)
+
+// Config collects every parameter of a simulation run. The zero value is
+// not usable; start from DefaultConfig (the paper's §5.1 setup) and adjust.
+type Config struct {
+	// Seed roots all random streams; identical Seeds give identical
+	// topologies and workloads across protocol runs, which is what makes
+	// the figure comparisons paired.
+	Seed int64
+
+	// NumPeers is the overlay size; paper: 1000.
+	NumPeers int
+	// AvgDegree is the overlay's average connectivity degree; paper: 3.
+	AvgDegree float64
+	// MaxDegree caps any peer's neighbour count.
+	MaxDegree int
+
+	// Landmarks is the number of landmark machines; paper: 4 (24 locIds).
+	Landmarks int
+	// Placement positions peers in the latency plane.
+	Placement netmodel.PlacementConfig
+	// Latency maps plane distance to RTT; paper: 10–500 ms.
+	Latency netmodel.LatencyConfig
+
+	// Catalog sizes the shared-file universe; paper: 3000 files × 3
+	// keywords from a 9000-keyword pool.
+	Catalog workload.CatalogConfig
+	// FilesPerPeer is the initial share count; paper: 3.
+	FilesPerPeer int
+	// Gen drives query arrivals; paper: Zipf at 0.00083 q/s/peer.
+	Gen workload.GenConfig
+
+	// Protocol holds the message-plane parameters (TTL 7, M groups, cache
+	// bounds, Bloom sizing).
+	Protocol protocol.Config
+
+	// Churn, when enabled, applies on/off churn every ChurnInterval.
+	ChurnEnabled  bool
+	Churn         overlay.ChurnConfig
+	ChurnInterval sim.Time
+}
+
+// DefaultConfig returns the paper's evaluation setup (§5.1).
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		NumPeers:      1000,
+		AvgDegree:     3,
+		MaxDegree:     12,
+		Landmarks:     4,
+		Placement:     netmodel.DefaultPlacement(),
+		Latency:       netmodel.DefaultLatency(),
+		Catalog:       workload.DefaultCatalog(),
+		FilesPerPeer:  3,
+		Gen:           workload.DefaultGen(),
+		Protocol:      protocol.DefaultConfig(),
+		Churn:         overlay.DefaultChurn(),
+		ChurnInterval: 60 * sim.Second,
+	}
+}
+
+// withDefaults fills zero fields so partially specified configs stay
+// runnable.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.NumPeers <= 0 {
+		c.NumPeers = d.NumPeers
+	}
+	if c.AvgDegree <= 0 {
+		c.AvgDegree = d.AvgDegree
+	}
+	if c.MaxDegree <= 0 {
+		c.MaxDegree = d.MaxDegree
+	}
+	if c.Landmarks <= 0 {
+		c.Landmarks = d.Landmarks
+	}
+	if c.Placement.Side <= 0 {
+		c.Placement = d.Placement
+	}
+	if c.Latency.MaxRTT <= c.Latency.MinRTT {
+		c.Latency = d.Latency
+	}
+	if c.Catalog.NumFiles <= 0 {
+		c.Catalog = d.Catalog
+	}
+	if c.FilesPerPeer <= 0 {
+		c.FilesPerPeer = d.FilesPerPeer
+	}
+	if c.Gen.RatePerPeer <= 0 {
+		c.Gen = d.Gen
+	}
+	if c.Protocol.TTL <= 0 {
+		c.Protocol.TTL = d.Protocol.TTL
+	}
+	if c.Protocol.GroupCount <= 0 {
+		c.Protocol.GroupCount = d.Protocol.GroupCount
+	}
+	if c.Protocol.Cache.MaxFilenames <= 0 {
+		c.Protocol.Cache = cache.DefaultConfig()
+	}
+	if c.Protocol.BloomBits <= 0 {
+		c.Protocol.BloomBits = d.Protocol.BloomBits
+		c.Protocol.BloomK = d.Protocol.BloomK
+	}
+	if c.Protocol.BloomGossipPeriod <= 0 {
+		c.Protocol.BloomGossipPeriod = d.Protocol.BloomGossipPeriod
+	}
+	if c.Protocol.FinalizeAfter <= 0 {
+		c.Protocol.FinalizeAfter = d.Protocol.FinalizeAfter
+	}
+	if c.ChurnInterval <= 0 {
+		c.ChurnInterval = d.ChurnInterval
+	}
+	if c.Churn.AvgDegree <= 0 {
+		c.Churn = d.Churn
+	}
+	return c
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/p2prepro/locaware/internal/overlay"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// smallConfig returns a fast config for tests: 200 peers, accelerated
+// query rate so runs finish in milliseconds of wall time.
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumPeers = 200
+	cfg.Gen.RatePerPeer = 0.01
+	return cfg
+}
+
+func TestNewSimulationAssembly(t *testing.T) {
+	s := NewSimulation(smallConfig(1), protocol.Locaware{})
+	if s.Graph.N() != 200 || !s.Graph.IsConnected() {
+		t.Fatalf("graph: %v", s.Graph)
+	}
+	if s.Catalog.Size() != 3000 {
+		t.Fatalf("catalog = %d", s.Catalog.Size())
+	}
+	// Every peer shares exactly FilesPerPeer files.
+	for p := 0; p < 200; p++ {
+		if n := s.Network.Node(overlay.PeerID(p)).NumFiles(); n != 3 {
+			t.Fatalf("peer %d shares %d files", p, n)
+		}
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSameSeedSameWorldAcrossBehaviors(t *testing.T) {
+	a := NewSimulation(smallConfig(7), protocol.Flooding{})
+	b := NewSimulation(smallConfig(7), protocol.Locaware{})
+	// Identical overlay.
+	if a.Graph.Edges() != b.Graph.Edges() {
+		t.Fatal("overlays differ across behaviours")
+	}
+	for p := 0; p < 200; p++ {
+		na, nb := a.Graph.Neighbors(overlay.PeerID(p)), b.Graph.Neighbors(overlay.PeerID(p))
+		if len(na) != len(nb) {
+			t.Fatalf("peer %d neighbourhoods differ", p)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("peer %d neighbourhoods differ", p)
+			}
+		}
+	}
+	// Identical locIds and placement.
+	for p := 0; p < 200; p++ {
+		if a.Locator.LocID(p) != b.Locator.LocID(p) {
+			t.Fatalf("locIds differ at %d", p)
+		}
+	}
+}
+
+func TestRunProducesRecords(t *testing.T) {
+	s := NewSimulation(smallConfig(2), protocol.Flooding{})
+	res := s.Run(50)
+	if res.Collector.Submitted() != 50 {
+		t.Fatalf("submitted = %d", res.Collector.Submitted())
+	}
+	if res.Protocol != "Flooding" {
+		t.Fatalf("protocol = %q", res.Protocol)
+	}
+	if res.Events == 0 || res.Duration == 0 {
+		t.Fatalf("run accounting: %+v", res)
+	}
+	if res.Collector.SuccessRate() == 0 {
+		t.Fatal("flooding over 200 peers should succeed sometimes")
+	}
+	if res.Collector.AvgMessagesPerQuery() < 10 {
+		t.Fatalf("flooding traffic implausibly low: %v", res.Collector.AvgMessagesPerQuery())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	r1 := NewSimulation(smallConfig(3), protocol.Locaware{}).Run(80)
+	r2 := NewSimulation(smallConfig(3), protocol.Locaware{}).Run(80)
+	if r1.Collector.SuccessRate() != r2.Collector.SuccessRate() {
+		t.Fatal("same-seed runs differ in success rate")
+	}
+	if r1.Collector.TotalMessages() != r2.Collector.TotalMessages() {
+		t.Fatal("same-seed runs differ in traffic")
+	}
+	if r1.Events != r2.Events {
+		t.Fatal("same-seed runs differ in event count")
+	}
+}
+
+func TestRunMeasuredDiscardsWarmup(t *testing.T) {
+	s := NewSimulation(smallConfig(4), protocol.Locaware{})
+	res := s.RunMeasured(30, 40)
+	if res.Collector.Submitted() != 40 {
+		t.Fatalf("measured records = %d, want 40", res.Collector.Submitted())
+	}
+}
+
+func TestRunMeasuredPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSimulation(smallConfig(5), protocol.Flooding{}).RunMeasured(0, 0)
+}
+
+func TestCachingProtocolPopulatesCaches(t *testing.T) {
+	s := NewSimulation(smallConfig(6), protocol.Locaware{})
+	res := s.Run(300)
+	if res.CacheFilenames == 0 {
+		t.Fatal("no filenames cached after 300 queries")
+	}
+	if res.CacheProviderEntries < res.CacheFilenames {
+		t.Fatal("provider entries below filename count")
+	}
+	if res.ControlMessages == 0 {
+		t.Fatal("locaware run produced no Bloom gossip")
+	}
+}
+
+func TestFloodingCachesNothing(t *testing.T) {
+	s := NewSimulation(smallConfig(6), protocol.Flooding{})
+	res := s.Run(100)
+	if res.CacheFilenames != 0 || res.ControlMessages != 0 {
+		t.Fatalf("flooding should not cache or gossip: %+v", res)
+	}
+}
+
+func TestRunComparisonPaired(t *testing.T) {
+	cfg := smallConfig(8)
+	cmp := RunComparison(cfg, Baselines(), 50, 100, nil)
+	if len(cmp.Results) != 4 || len(cmp.Order) != 4 {
+		t.Fatalf("results: %v", cmp.Order)
+	}
+	for _, name := range []string{"Flooding", "Dicas", "Dicas-Keys", "Locaware"} {
+		res, ok := cmp.Results[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if res.Collector.Submitted() != 100 {
+			t.Fatalf("%s submitted %d", name, res.Collector.Submitted())
+		}
+	}
+	// Flooding must dominate traffic.
+	fl := cmp.Results["Flooding"].Collector.AvgMessagesPerQuery()
+	la := cmp.Results["Locaware"].Collector.AvgMessagesPerQuery()
+	if la >= fl {
+		t.Fatalf("locaware traffic %v >= flooding %v", la, fl)
+	}
+}
+
+func TestFigureSeriesExtraction(t *testing.T) {
+	cfg := smallConfig(9)
+	cmp := RunComparison(cfg, []protocol.Behavior{protocol.Flooding{}, protocol.Locaware{}}, 20, 60, []int{20, 40, 60})
+	for _, fig := range []string{Fig2DownloadDistance, Fig3SearchTraffic, Fig4SuccessRate} {
+		series := cmp.FigureSeries(fig)
+		if len(series) != 2 {
+			t.Fatalf("%s: %d series", fig, len(series))
+		}
+		for _, s := range series {
+			if s.Len() != 3 {
+				t.Fatalf("%s/%s: %d points, want 3", fig, s.Name, s.Len())
+			}
+			if s.Xs[0] != 20 || s.Xs[2] != 60 {
+				t.Fatalf("%s/%s xs = %v", fig, s.Name, s.Xs)
+			}
+		}
+	}
+	cum := cmp.CumulativeFigureSeries(Fig4SuccessRate)
+	if len(cum) != 2 || cum[0].Len() != 3 {
+		t.Fatal("cumulative series broken")
+	}
+	if got := cmp.FigureSeries("not-a-figure"); got[0].Len() != 0 {
+		t.Fatal("unknown figure should yield empty series")
+	}
+}
+
+func TestNormalizeCheckpoints(t *testing.T) {
+	got := normalizeCheckpoints([]int{50, 10, 10, -3, 200}, 100)
+	if len(got) != 2 || got[0] != 10 || got[1] != 50 {
+		t.Fatalf("normalized = %v (out-of-range and duplicate checkpoints must drop)", got)
+	}
+	auto := normalizeCheckpoints(nil, 100)
+	if len(auto) != 10 || auto[0] != 10 || auto[9] != 100 {
+		t.Fatalf("auto checkpoints = %v", auto)
+	}
+	tiny := normalizeCheckpoints(nil, 3)
+	if len(tiny) == 0 {
+		t.Fatal("tiny run has no checkpoints")
+	}
+}
+
+func TestHeadlines(t *testing.T) {
+	cfg := smallConfig(10)
+	cmp := RunComparison(cfg, Baselines(), 150, 150, nil)
+	h := cmp.Headlines()
+	if h.TrafficReductionVsFlooding > -0.5 {
+		t.Fatalf("traffic reduction %v, expected strongly negative", h.TrafficReductionVsFlooding)
+	}
+	// Partial comparisons do not panic.
+	partial := RunComparison(cfg, []protocol.Behavior{protocol.Locaware{}}, 0, 30, nil)
+	_ = partial.Headlines()
+	empty := &Comparison{Results: map[string]*RunResult{}}
+	_ = empty.Headlines()
+}
+
+func TestChurnRun(t *testing.T) {
+	cfg := smallConfig(11)
+	cfg.ChurnEnabled = true
+	cfg.ChurnInterval = 20 * sim.Second
+	s := NewSimulation(cfg, protocol.Locaware{})
+	res := s.Run(150)
+	if res.Collector.Submitted() != 150 {
+		t.Fatalf("submitted = %d", res.Collector.Submitted())
+	}
+	// Churn should leave some peers offline or have cycled them.
+	if s.Graph.OnlineCount() == 200 && s.Graph.Edges() == 0 {
+		t.Fatal("churn had no effect")
+	}
+}
+
+func TestWithDefaultsFillsZeroConfig(t *testing.T) {
+	var c Config
+	c = c.withDefaults()
+	d := DefaultConfig()
+	if c.NumPeers != d.NumPeers || c.Landmarks != d.Landmarks ||
+		c.Protocol.TTL != d.Protocol.TTL || c.Catalog.NumFiles != d.Catalog.NumFiles {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	// A zero-config simulation is runnable.
+	s := NewSimulation(Config{NumPeers: 100, Gen: c.Gen}, protocol.Dicas{})
+	res := s.Run(10)
+	if res.Collector.Submitted() != 10 {
+		t.Fatal("zero-ish config run failed")
+	}
+}
+
+func TestLocawareBeatsDicasWarm(t *testing.T) {
+	// Integration check of the paper's Fig. 4 ordering at small scale:
+	// with a warmed system, Locaware's success rate must be at least
+	// Dicas's (the +23% claim is validated at paper scale in the bench
+	// harness; here we assert non-inferiority to keep the test robust).
+	cfg := smallConfig(12)
+	cmp := RunComparison(cfg, []protocol.Behavior{protocol.Dicas{}, protocol.Locaware{}}, 400, 400, nil)
+	di := cmp.Results["Dicas"].Collector.SuccessRate()
+	la := cmp.Results["Locaware"].Collector.SuccessRate()
+	if la < di*0.95 {
+		t.Fatalf("locaware %0.3f markedly below dicas %0.3f", la, di)
+	}
+}
+
+func TestFloodingSuccessDominates(t *testing.T) {
+	cfg := smallConfig(13)
+	cmp := RunComparison(cfg, []protocol.Behavior{protocol.Flooding{}, protocol.Locaware{}}, 100, 200, nil)
+	fl := cmp.Results["Flooding"].Collector.SuccessRate()
+	la := cmp.Results["Locaware"].Collector.SuccessRate()
+	if fl <= la {
+		t.Fatalf("flooding %0.3f should beat locaware %0.3f on success (Fig. 4)", fl, la)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/p2prepro/locaware/internal/metrics"
+	"github.com/p2prepro/locaware/internal/netmodel"
+	"github.com/p2prepro/locaware/internal/overlay"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/workload"
+)
+
+// Simulation is one fully assembled run: topology + workload + one protocol
+// behaviour.
+type Simulation struct {
+	Cfg      Config
+	Engine   *sim.Engine
+	Graph    *overlay.Graph
+	Model    *netmodel.Model
+	Locator  *netmodel.Locator
+	Catalog  *workload.Catalog
+	Network  *protocol.Network
+	Behavior protocol.Behavior
+
+	gen       *workload.Generator
+	placement *workload.Placement
+}
+
+// NewSimulation assembles a simulation for the behaviour. All randomness
+// derives from cfg.Seed via named streams, so two simulations with the same
+// config but different behaviours see the same physical world, overlay,
+// file placement and query sequence.
+func NewSimulation(cfg Config, b protocol.Behavior) *Simulation {
+	cfg = cfg.withDefaults()
+	rng := sim.NewRNG(cfg.Seed)
+
+	topoRng := rng.Stream("topology")
+	pts := netmodel.Place(cfg.NumPeers, cfg.Placement, topoRng)
+	model := netmodel.NewModel(pts, cfg.Placement.Side, cfg.Latency, cfg.Seed)
+	lm := netmodel.NewLandmarks(cfg.Landmarks, cfg.Placement.Side, rng.Stream("landmarks"))
+	locator := netmodel.NewLocator(model, lm)
+
+	graph := overlay.BuildRandom(cfg.NumPeers,
+		overlay.BuildConfig{AvgDegree: cfg.AvgDegree, MaxDegree: cfg.MaxDegree},
+		rng.Stream("overlay"))
+
+	catalog := workload.NewCatalog(cfg.Catalog, rng.Stream("catalog"))
+	placement := workload.NewPlacement(cfg.NumPeers, cfg.FilesPerPeer, catalog, rng.Stream("placement"))
+
+	eng := sim.NewEngine()
+	net := protocol.NewNetwork(eng, graph, model, locator, b, cfg.Protocol,
+		rng.Stream("gid"), rng.Stream("protocol"))
+
+	// Seed initial shared storage.
+	for p := 0; p < cfg.NumPeers; p++ {
+		for _, fid := range placement.Files(p) {
+			net.Node(overlay.PeerID(p)).AddFile(catalog.File(fid))
+		}
+	}
+
+	// Queries target PF, the set of popularly shared files (§3.3): only
+	// files some peer actually provides are queryable. Catalogue ids are
+	// popularity ranks, so sorting keeps the Zipf head on popular files.
+	providerMap := placement.Providers()
+	targets := make([]workload.FileID, 0, len(providerMap))
+	for fid := range providerMap {
+		targets = append(targets, fid)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	s := &Simulation{
+		Cfg:       cfg,
+		Engine:    eng,
+		Graph:     graph,
+		Model:     model,
+		Locator:   locator,
+		Catalog:   catalog,
+		Network:   net,
+		Behavior:  b,
+		gen:       workload.NewGeneratorOver(cfg.NumPeers, cfg.Gen, catalog, targets, rng.Stream("workload")),
+		placement: placement,
+	}
+
+	if cfg.ChurnEnabled {
+		churnRng := rng.Stream("churn")
+		eng.Every(cfg.ChurnInterval, func(*sim.Engine) bool {
+			left, joined := overlay.ChurnStep(graph, cfg.Churn, churnRng)
+			for _, p := range left {
+				// Departed peers' own indexes die with them; survivors'
+				// indexes pointing at them become stale and are filtered
+				// at selection time.
+				_ = p
+			}
+			_ = joined
+			return true
+		})
+	}
+	return s
+}
+
+// RunResult summarises one run.
+type RunResult struct {
+	// Protocol is the behaviour's name.
+	Protocol string
+	// Collector holds every per-query record.
+	Collector *metrics.Collector
+	// ControlMessages / ControlBits account Bloom gossip traffic
+	// separately from search traffic, as the paper does.
+	ControlMessages uint64
+	ControlBits     uint64
+	// CacheFilenames / CacheProviderEntries snapshot aggregate response
+	// index occupancy at the end of the run (storage-overhead metric).
+	CacheFilenames       int
+	CacheProviderEntries int
+	// Forwarding tallies how each routing tier was used across the run.
+	Forwarding protocol.ForwardStats
+	// Duration is the virtual time the run covered.
+	Duration sim.Time
+	// Events is the number of simulator events processed.
+	Events uint64
+}
+
+// Run submits numQueries queries at the generator's Poisson arrival times
+// and drives the engine until every query has been finalised. It can be
+// called once per Simulation.
+func (s *Simulation) Run(numQueries int) *RunResult {
+	return s.RunMeasured(0, numQueries)
+}
+
+// RunMeasured runs warmup queries to bring caches, Bloom filters and
+// natural replication to operating temperature, then measures the next
+// measured queries. Warmup queries execute with full protocol effect but
+// their records are discarded: only the measured phase appears in the
+// returned result.
+func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
+	total := warmup + measured
+	if total <= 0 {
+		panic("core: RunMeasured needs at least one query")
+	}
+	events := s.gen.Take(total)
+	for i, ev := range events {
+		ev := ev
+		if i == warmup && warmup > 0 {
+			// Swap the collector just before the first measured query;
+			// in-flight warmup queries keep finalising into the old one.
+			at := ev.At - 1
+			if _, err := s.Engine.ScheduleAt(at, func(*sim.Engine) {
+				s.Network.ResetCollector()
+			}); err != nil {
+				panic(fmt.Sprintf("core: scheduling collector reset: %v", err))
+			}
+		}
+		if _, err := s.Engine.ScheduleAt(ev.At, func(*sim.Engine) {
+			s.Network.SubmitQuery(overlay.PeerID(ev.Requester), ev.Q)
+		}); err != nil {
+			panic(fmt.Sprintf("core: scheduling query: %v", err))
+		}
+	}
+	deadline := events[len(events)-1].At + s.Cfg.Protocol.FinalizeAfter + sim.Minute
+	s.Engine.SetHorizon(deadline)
+	s.Engine.RunUntil(deadline, 0)
+	s.Network.FlushPending()
+
+	res := &RunResult{
+		Protocol:        s.Behavior.Name(),
+		Collector:       s.Network.Collector,
+		ControlMessages: s.Network.ControlMessages(),
+		ControlBits:     s.Network.ControlBits(),
+		Forwarding:      s.Network.Forwarding,
+		Duration:        s.Engine.Now(),
+		Events:          s.Engine.Processed(),
+	}
+	for _, n := range s.Network.Nodes() {
+		res.CacheFilenames += n.RI.Len()
+		res.CacheProviderEntries += n.RI.TotalProviderEntries()
+	}
+	return res
+}
+
+// String identifies the simulation.
+func (s *Simulation) String() string {
+	return fmt.Sprintf("sim{%s peers=%d seed=%d}", s.Behavior.Name(), s.Cfg.NumPeers, s.Cfg.Seed)
+}

@@ -1,0 +1,178 @@
+// Package keywords models filenames and keyword queries as defined in §3.3
+// of the Locaware paper: a filename f is a set of K keywords drawn from a
+// global pool; a query q is a random subset of 1..K of those keywords, and
+// q is satisfied by any file whose filename contains all of q's keywords.
+//
+// The paper's evaluation uses a pool of 9000 keywords and filenames of
+// exactly 3 keywords.
+package keywords
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Keyword is a single search term.
+type Keyword string
+
+// Filename is a file's name, decomposed into its keywords ("filenames are
+// broken into keywords following predefined rules", §3.1). The canonical
+// string form joins the sorted keywords with underscores.
+type Filename struct {
+	kws []Keyword
+}
+
+// NewFilename builds a filename from keywords, deduplicating and sorting
+// them so equal keyword sets compare equal.
+func NewFilename(kws ...Keyword) Filename {
+	seen := make(map[Keyword]bool, len(kws))
+	out := make([]Keyword, 0, len(kws))
+	for _, k := range kws {
+		if k == "" || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return Filename{kws: out}
+}
+
+// ParseFilename tokenises a canonical filename string back into keywords —
+// the "predefined rules" of §3.1 (split on underscores, lower-case).
+func ParseFilename(s string) Filename {
+	parts := strings.Split(strings.ToLower(s), "_")
+	kws := make([]Keyword, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			kws = append(kws, Keyword(p))
+		}
+	}
+	return NewFilename(kws...)
+}
+
+// Keywords returns the filename's keywords in canonical order.
+func (f Filename) Keywords() []Keyword {
+	out := make([]Keyword, len(f.kws))
+	copy(out, f.kws)
+	return out
+}
+
+// K returns the number of keywords in the filename.
+func (f Filename) K() int { return len(f.kws) }
+
+// String returns the canonical filename string.
+func (f Filename) String() string {
+	parts := make([]string, len(f.kws))
+	for i, k := range f.kws {
+		parts[i] = string(k)
+	}
+	return strings.Join(parts, "_")
+}
+
+// Contains reports whether the filename contains keyword k.
+func (f Filename) Contains(k Keyword) bool {
+	i := sort.Search(len(f.kws), func(i int) bool { return f.kws[i] >= k })
+	return i < len(f.kws) && f.kws[i] == k
+}
+
+// Matches reports whether the filename satisfies query q: every query
+// keyword is contained in the filename (§3.1: "q can be satisfied by any
+// file f which filename contains all keywords of q").
+func (f Filename) Matches(q Query) bool {
+	if len(q.Kws) == 0 {
+		return false
+	}
+	for _, k := range q.Kws {
+		if !f.Contains(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// Query is a keyword query: 1..K keywords from some target filename (§3.3).
+type Query struct {
+	Kws []Keyword
+}
+
+// NewQuery builds a query from keywords, deduplicated and sorted.
+func NewQuery(kws ...Keyword) Query {
+	f := NewFilename(kws...)
+	return Query{Kws: f.kws}
+}
+
+// Strings returns the query keywords as plain strings (for Bloom filter
+// membership tests).
+func (q Query) Strings() []string {
+	out := make([]string, len(q.Kws))
+	for i, k := range q.Kws {
+		out[i] = string(k)
+	}
+	return out
+}
+
+// String renders the query.
+func (q Query) String() string {
+	return "q{" + strings.Join(q.Strings(), ",") + "}"
+}
+
+// ExtractQuery draws a query of 1..K random keywords from filename f
+// ("to express each query, we randomly choose 1 to 3 keywords from the
+// queried filename", §5.1).
+func ExtractQuery(f Filename, r *rand.Rand) Query {
+	k := f.K()
+	if k == 0 {
+		return Query{}
+	}
+	x := 1 + r.Intn(k)
+	perm := r.Perm(k)
+	kws := make([]Keyword, 0, x)
+	for _, idx := range perm[:x] {
+		kws = append(kws, f.kws[idx])
+	}
+	return NewQuery(kws...)
+}
+
+// Pool is a fixed universe of keywords (the paper's pool of 9000).
+type Pool struct {
+	kws []Keyword
+}
+
+// NewPool generates n synthetic keywords, deterministically.
+func NewPool(n int) *Pool {
+	kws := make([]Keyword, n)
+	for i := range kws {
+		kws[i] = Keyword(fmt.Sprintf("kw%05d", i))
+	}
+	return &Pool{kws: kws}
+}
+
+// Size returns the pool's cardinality.
+func (p *Pool) Size() int { return len(p.kws) }
+
+// Keyword returns the i-th keyword.
+func (p *Pool) Keyword(i int) Keyword { return p.kws[i] }
+
+// RandomFilename draws a filename of exactly k distinct keywords from the
+// pool ("each filename is formed of 3 keywords, randomly chosen from a pool
+// of 9000", §5.1).
+func (p *Pool) RandomFilename(k int, r *rand.Rand) Filename {
+	if k > len(p.kws) {
+		k = len(p.kws)
+	}
+	chosen := make([]Keyword, 0, k)
+	seen := make(map[int]bool, k)
+	for len(chosen) < k {
+		i := r.Intn(len(p.kws))
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		chosen = append(chosen, p.kws[i])
+	}
+	return NewFilename(chosen...)
+}

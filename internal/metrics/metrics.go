@@ -1,0 +1,230 @@
+// Package metrics implements the measurement pipeline behind §5's three
+// performance metrics:
+//
+//   - download distance — average RTT from requester to the chosen provider;
+//   - search traffic — total messages produced by a query;
+//   - success rate — satisfied queries / submitted queries.
+//
+// Each figure plots its metric against the number of queries submitted, so
+// the collector both accumulates per-query records and exposes windowed
+// series keyed by cumulative query count.
+package metrics
+
+import (
+	"fmt"
+
+	"github.com/p2prepro/locaware/internal/stats"
+)
+
+// QueryRecord is the outcome of one query.
+type QueryRecord struct {
+	// ID is the query's sequence number (1-based submission order).
+	ID uint64
+	// Messages is the number of overlay messages the query produced
+	// (forwards + responses).
+	Messages int
+	// Success reports whether the query was satisfied.
+	Success bool
+	// DownloadRTT is the RTT in ms from requester to the chosen provider;
+	// meaningful only when Success is true.
+	DownloadRTT float64
+	// SameLocality reports whether the chosen provider shared the
+	// requester's locId.
+	SameLocality bool
+	// FromCache reports whether the hit came from a response index rather
+	// than a peer's shared storage; meaningful only when Success is true.
+	FromCache bool
+	// Hops is the overlay hop count to the first hit (0 when unanswered).
+	Hops int
+}
+
+// Collector accumulates query records for one protocol run.
+type Collector struct {
+	records []QueryRecord
+	// messages counts all messages, including those of unanswered queries.
+	totalMessages uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record appends a query outcome.
+func (c *Collector) Record(r QueryRecord) {
+	r.ID = uint64(len(c.records) + 1)
+	c.records = append(c.records, r)
+	c.totalMessages += uint64(r.Messages)
+}
+
+// Submitted returns the number of queries recorded.
+func (c *Collector) Submitted() int { return len(c.records) }
+
+// TotalMessages returns the total message count across all queries.
+func (c *Collector) TotalMessages() uint64 { return c.totalMessages }
+
+// SuccessRate returns satisfied/submitted over the whole run.
+func (c *Collector) SuccessRate() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	succ := 0
+	for _, r := range c.records {
+		if r.Success {
+			succ++
+		}
+	}
+	return float64(succ) / float64(len(c.records))
+}
+
+// AvgMessagesPerQuery returns mean messages per query over the whole run.
+func (c *Collector) AvgMessagesPerQuery() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	return float64(c.totalMessages) / float64(len(c.records))
+}
+
+// AvgDownloadRTT returns the mean download distance over successful
+// queries.
+func (c *Collector) AvgDownloadRTT() float64 {
+	var xs []float64
+	for _, r := range c.records {
+		if r.Success {
+			xs = append(xs, r.DownloadRTT)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// SameLocalityRate returns the fraction of successful downloads served from
+// the requester's own locality.
+func (c *Collector) SameLocalityRate() float64 {
+	succ, same := 0, 0
+	for _, r := range c.records {
+		if r.Success {
+			succ++
+			if r.SameLocality {
+				same++
+			}
+		}
+	}
+	if succ == 0 {
+		return 0
+	}
+	return float64(same) / float64(succ)
+}
+
+// CacheHitRate returns the fraction of successful queries answered from a
+// response index rather than shared storage — how much work index caching
+// is actually doing.
+func (c *Collector) CacheHitRate() float64 {
+	succ, cached := 0, 0
+	for _, r := range c.records {
+		if r.Success {
+			succ++
+			if r.FromCache {
+				cached++
+			}
+		}
+	}
+	if succ == 0 {
+		return 0
+	}
+	return float64(cached) / float64(succ)
+}
+
+// AvgHops returns mean hops-to-hit over successful queries.
+func (c *Collector) AvgHops() float64 {
+	var xs []float64
+	for _, r := range c.records {
+		if r.Success {
+			xs = append(xs, float64(r.Hops))
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// Records returns a copy of all query records.
+func (c *Collector) Records() []QueryRecord {
+	out := make([]QueryRecord, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// Window aggregates one checkpoint of a figure series: the metric values
+// over queries (prevEnd, End].
+type Window struct {
+	// End is the cumulative query count at the checkpoint (figure x value).
+	End int
+	// DownloadRTT is the mean download distance within the window.
+	DownloadRTT float64
+	// MessagesPerQuery is the mean per-query traffic within the window.
+	MessagesPerQuery float64
+	// SuccessRate is the within-window success fraction.
+	SuccessRate float64
+}
+
+// Windows slices the record stream at the given cumulative-count
+// checkpoints (ascending). Checkpoints beyond the recorded count are
+// dropped.
+func (c *Collector) Windows(checkpoints []int) []Window {
+	var out []Window
+	prev := 0
+	for _, end := range checkpoints {
+		if end > len(c.records) {
+			break
+		}
+		if end <= prev {
+			continue
+		}
+		w := Window{End: end}
+		var msgs, succ int
+		var rtts []float64
+		for _, r := range c.records[prev:end] {
+			msgs += r.Messages
+			if r.Success {
+				succ++
+				rtts = append(rtts, r.DownloadRTT)
+			}
+		}
+		n := end - prev
+		w.MessagesPerQuery = float64(msgs) / float64(n)
+		w.SuccessRate = float64(succ) / float64(n)
+		w.DownloadRTT = stats.Mean(rtts)
+		out = append(out, w)
+		prev = end
+	}
+	return out
+}
+
+// CumulativeWindows computes the metrics over queries [0, end] for each
+// checkpoint — the "effect of the number of queries" presentation used in
+// the paper's figures.
+func (c *Collector) CumulativeWindows(checkpoints []int) []Window {
+	var out []Window
+	for _, end := range checkpoints {
+		if end > len(c.records) || end <= 0 {
+			continue
+		}
+		w := Window{End: end}
+		var msgs, succ int
+		var rtts []float64
+		for _, r := range c.records[:end] {
+			msgs += r.Messages
+			if r.Success {
+				succ++
+				rtts = append(rtts, r.DownloadRTT)
+			}
+		}
+		w.MessagesPerQuery = float64(msgs) / float64(end)
+		w.SuccessRate = float64(succ) / float64(end)
+		w.DownloadRTT = stats.Mean(rtts)
+		out = append(out, w)
+	}
+	return out
+}
+
+// String summarises the collector.
+func (c *Collector) String() string {
+	return fmt.Sprintf("metrics{n=%d success=%.3f msgs/q=%.1f rtt=%.1fms}",
+		c.Submitted(), c.SuccessRate(), c.AvgMessagesPerQuery(), c.AvgDownloadRTT())
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func rec(msgs int, success bool, rtt float64, same bool, hops int) QueryRecord {
+	return QueryRecord{Messages: msgs, Success: success, DownloadRTT: rtt, SameLocality: same, Hops: hops}
+}
+
+func TestRecordAndAggregates(t *testing.T) {
+	c := NewCollector()
+	c.Record(rec(10, true, 100, true, 2))
+	c.Record(rec(20, false, 0, false, 0))
+	c.Record(rec(30, true, 200, false, 4))
+
+	if c.Submitted() != 3 {
+		t.Fatalf("submitted = %d", c.Submitted())
+	}
+	if c.TotalMessages() != 60 {
+		t.Fatalf("total msgs = %d", c.TotalMessages())
+	}
+	if got := c.SuccessRate(); got != 2.0/3.0 {
+		t.Fatalf("success = %v", got)
+	}
+	if got := c.AvgMessagesPerQuery(); got != 20 {
+		t.Fatalf("msgs/q = %v", got)
+	}
+	if got := c.AvgDownloadRTT(); got != 150 {
+		t.Fatalf("rtt = %v", got)
+	}
+	if got := c.SameLocalityRate(); got != 0.5 {
+		t.Fatalf("same-locality = %v", got)
+	}
+	if got := c.AvgHops(); got != 3 {
+		t.Fatalf("hops = %v", got)
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	if c.SuccessRate() != 0 || c.AvgMessagesPerQuery() != 0 || c.AvgDownloadRTT() != 0 ||
+		c.SameLocalityRate() != 0 || c.AvgHops() != 0 {
+		t.Fatal("empty collector should return zeros")
+	}
+	if len(c.Windows([]int{10})) != 0 {
+		t.Fatal("windows beyond records should be empty")
+	}
+}
+
+func TestRecordAssignsSequentialIDs(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 5; i++ {
+		c.Record(rec(1, true, 1, false, 1))
+	}
+	rs := c.Records()
+	for i, r := range rs {
+		if r.ID != uint64(i+1) {
+			t.Fatalf("record %d has id %d", i, r.ID)
+		}
+	}
+	rs[0].Messages = 999
+	if c.Records()[0].Messages == 999 {
+		t.Fatal("Records exposed internal storage")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	c := NewCollector()
+	// 10 queries: first 5 succeed with rtt 100 and 10 msgs, last 5 fail
+	// with 50 msgs.
+	for i := 0; i < 5; i++ {
+		c.Record(rec(10, true, 100, true, 1))
+	}
+	for i := 0; i < 5; i++ {
+		c.Record(rec(50, false, 0, false, 0))
+	}
+	ws := c.Windows([]int{5, 10})
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[0].End != 5 || ws[0].SuccessRate != 1 || ws[0].MessagesPerQuery != 10 || ws[0].DownloadRTT != 100 {
+		t.Fatalf("w0 = %+v", ws[0])
+	}
+	if ws[1].End != 10 || ws[1].SuccessRate != 0 || ws[1].MessagesPerQuery != 50 || ws[1].DownloadRTT != 0 {
+		t.Fatalf("w1 = %+v", ws[1])
+	}
+}
+
+func TestWindowsSkipsBadCheckpoints(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 4; i++ {
+		c.Record(rec(1, true, 1, false, 1))
+	}
+	ws := c.Windows([]int{2, 2, 1, 4, 99})
+	if len(ws) != 2 || ws[0].End != 2 || ws[1].End != 4 {
+		t.Fatalf("windows = %+v", ws)
+	}
+}
+
+func TestCumulativeWindows(t *testing.T) {
+	c := NewCollector()
+	c.Record(rec(10, true, 100, false, 1)) // q1
+	c.Record(rec(30, false, 0, false, 0))  // q2
+	c.Record(rec(20, true, 200, false, 1)) // q3
+	ws := c.CumulativeWindows([]int{1, 2, 3, 10})
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[0].SuccessRate != 1 || ws[0].MessagesPerQuery != 10 {
+		t.Fatalf("w0 = %+v", ws[0])
+	}
+	if ws[1].SuccessRate != 0.5 || ws[1].MessagesPerQuery != 20 {
+		t.Fatalf("w1 = %+v", ws[1])
+	}
+	if ws[2].SuccessRate != 2.0/3.0 || ws[2].DownloadRTT != 150 {
+		t.Fatalf("w2 = %+v", ws[2])
+	}
+}

@@ -1,0 +1,110 @@
+package netmodel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// LatencyConfig maps plane distances to round-trip times.
+type LatencyConfig struct {
+	// MinRTT and MaxRTT bound the pairwise RTT in milliseconds. The paper's
+	// BRITE-inspired model assigns latencies between 10 and 500 ms.
+	MinRTT, MaxRTT float64
+	// Jitter is the coefficient of a multiplicative log-normal noise applied
+	// per pair (deterministically, from the pair's identity), modelling
+	// routing inflation over the geometric baseline. 0 disables it.
+	Jitter float64
+}
+
+// DefaultLatency returns the paper's 10–500 ms range with mild jitter.
+func DefaultLatency() LatencyConfig {
+	return LatencyConfig{MinRTT: 10, MaxRTT: 500, Jitter: 0.1}
+}
+
+// Model is an immutable physical-network instance: peer coordinates plus the
+// distance→RTT mapping. All methods are safe for concurrent readers.
+type Model struct {
+	cfg    LatencyConfig
+	pts    []Point
+	diag   float64 // plane diagonal used for normalisation
+	jseed  int64
+	maxDim float64
+}
+
+// ErrPeerRange reports an out-of-range peer id.
+var ErrPeerRange = errors.New("netmodel: peer id out of range")
+
+// NewModel builds a model over the given peer positions. side is the plane
+// side length used for distance normalisation (pass the PlacementConfig.Side
+// that produced pts). jitterSeed fixes the per-pair jitter stream.
+func NewModel(pts []Point, side float64, cfg LatencyConfig, jitterSeed int64) *Model {
+	if side <= 0 {
+		side = 1000
+	}
+	if cfg.MaxRTT <= cfg.MinRTT {
+		cfg = DefaultLatency()
+	}
+	return &Model{
+		cfg:    cfg,
+		pts:    pts,
+		diag:   side * math.Sqrt2,
+		jseed:  jitterSeed,
+		maxDim: side,
+	}
+}
+
+// N returns the number of peers in the model.
+func (m *Model) N() int { return len(m.pts) }
+
+// Position returns the coordinates of peer i.
+func (m *Model) Position(i int) (Point, error) {
+	if i < 0 || i >= len(m.pts) {
+		return Point{}, ErrPeerRange
+	}
+	return m.pts[i], nil
+}
+
+// RTT returns the round-trip time in milliseconds between peers a and b.
+// It is symmetric, zero on the diagonal, and always within
+// [MinRTT, MaxRTT*(1+Jitter…)] for distinct peers.
+func (m *Model) RTT(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	base := m.rttTo(m.pts[a], m.pts[b])
+	if m.cfg.Jitter <= 0 {
+		return base
+	}
+	// Deterministic symmetric jitter: seed from unordered pair identity.
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	r := rand.New(rand.NewSource(m.jseed ^ (int64(lo)<<20 | int64(hi))))
+	factor := 1 + m.cfg.Jitter*r.NormFloat64()
+	if factor < 0.5 {
+		factor = 0.5
+	}
+	rtt := base * factor
+	if rtt < m.cfg.MinRTT {
+		rtt = m.cfg.MinRTT
+	}
+	return rtt
+}
+
+// RTTToPoint returns the RTT in milliseconds between peer a and an arbitrary
+// point (used for landmark probes). No jitter is applied: landmark probes in
+// the paper are averaged RTT estimates, and locIds depend only on ordering.
+func (m *Model) RTTToPoint(a int, p Point) float64 {
+	return m.rttTo(m.pts[a], p)
+}
+
+func (m *Model) rttTo(p, q Point) float64 {
+	d := p.Dist(q) / m.diag // 0..1
+	return m.cfg.MinRTT + d*(m.cfg.MaxRTT-m.cfg.MinRTT)
+}
+
+// OneWay returns the one-way link latency (half the RTT) in milliseconds;
+// this is the delay the simulator applies to a single message hop.
+func (m *Model) OneWay(a, b int) float64 { return m.RTT(a, b) / 2 }

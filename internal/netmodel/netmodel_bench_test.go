@@ -1,0 +1,40 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkRTT measures the pairwise latency computation (with jitter),
+// the per-message hot path of the simulator.
+func BenchmarkRTT(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := Place(1000, DefaultPlacement(), r)
+	m := NewModel(pts, 1000, DefaultLatency(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.RTT(i%1000, (i*7+13)%1000)
+	}
+}
+
+// BenchmarkLocatorBuild measures full locId assignment for the paper's
+// 1000 peers against 4 landmarks.
+func BenchmarkLocatorBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	pts := Place(1000, DefaultPlacement(), r)
+	m := NewModel(pts, 1000, DefaultLatency(), 2)
+	lm := NewLandmarks(4, 1000, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewLocator(m, lm)
+	}
+}
+
+// BenchmarkEncodeOrdering measures Lehmer-code ranking of a landmark
+// permutation.
+func BenchmarkEncodeOrdering(b *testing.B) {
+	perm := []int{2, 0, 3, 1}
+	for i := 0; i < b.N; i++ {
+		_ = EncodeOrdering(perm)
+	}
+}

@@ -1,0 +1,56 @@
+package overlay
+
+import "math/rand"
+
+// ChurnConfig describes a simple on/off churn process: every interval, each
+// online peer leaves with probability LeaveProb and each offline peer
+// rejoins with probability JoinProb. Participant peers in unstructured
+// systems are "highly dynamic and autonomous, failing or leaving the network
+// at any moment" (§3.1); this process exercises exactly that behaviour.
+type ChurnConfig struct {
+	LeaveProb float64
+	JoinProb  float64
+	AvgDegree float64
+	MaxDegree int
+	// MinOnlineFraction guards against the overlay collapsing in extreme
+	// configurations; churn steps never take the online fraction below it.
+	MinOnlineFraction float64
+}
+
+// DefaultChurn returns a mild churn setting suitable for the churn
+// extension experiment.
+func DefaultChurn() ChurnConfig {
+	return ChurnConfig{
+		LeaveProb:         0.02,
+		JoinProb:          0.2,
+		AvgDegree:         3,
+		MaxDegree:         12,
+		MinOnlineFraction: 0.5,
+	}
+}
+
+// ChurnStep applies one round of the churn process to g and returns the
+// peers that left and those that joined during this round.
+func ChurnStep(g *Graph, cfg ChurnConfig, r *rand.Rand) (left, joined []PeerID) {
+	minOnline := int(cfg.MinOnlineFraction * float64(g.N()))
+	for i := 0; i < g.N(); i++ {
+		p := PeerID(i)
+		if g.Online(p) {
+			if g.OnlineCount() > minOnline && r.Float64() < cfg.LeaveProb {
+				former := g.Leave(p)
+				// Rescue only isolated former neighbours (target degree
+				// 1): each eventual rejoin already adds ~AvgDegree links,
+				// so any additional unconditional patching inflates
+				// overlay density round over round and with it every
+				// coverage-dependent metric.
+				RepairAfterLeave(g, former, 1, cfg.MaxDegree)
+				left = append(left, p)
+			}
+		} else if r.Float64() < cfg.JoinProb {
+			_ = g.Join(p)
+			RewireJoin(g, p, cfg.AvgDegree, cfg.MaxDegree, r)
+			joined = append(joined, p)
+		}
+	}
+	return left, joined
+}

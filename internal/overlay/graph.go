@@ -1,0 +1,229 @@
+// Package overlay implements the unstructured (Gnutella-like) P2P overlay of
+// §3.1: peers join by establishing logical links to randomly chosen
+// neighbours, without knowledge of the underlying topology. The package
+// provides the random-graph builder used in the paper's evaluation (1000
+// peers, average connectivity degree 3), neighbour tables, and churn
+// (leave/rejoin) dynamics with connectivity repair.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// PeerID identifies a peer; it doubles as the peer's index into the physical
+// network model, so overlay identity and physical identity stay aligned.
+type PeerID int
+
+// Graph is an undirected overlay graph over peers 0..n-1. Peers may be
+// marked offline (churn); offline peers keep their identity but have no
+// links.
+type Graph struct {
+	n      int
+	adj    []map[PeerID]struct{}
+	online []bool
+	edges  int
+}
+
+// Errors returned by graph mutations.
+var (
+	ErrBadPeer  = errors.New("overlay: peer id out of range")
+	ErrOffline  = errors.New("overlay: peer is offline")
+	ErrSelfLink = errors.New("overlay: self link")
+)
+
+// NewGraph returns an edgeless graph of n online peers.
+func NewGraph(n int) *Graph {
+	g := &Graph{
+		n:      n,
+		adj:    make([]map[PeerID]struct{}, n),
+		online: make([]bool, n),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[PeerID]struct{})
+		g.online[i] = true
+	}
+	return g
+}
+
+// N returns the total number of peer slots (online and offline).
+func (g *Graph) N() int { return g.n }
+
+// Edges returns the number of undirected links.
+func (g *Graph) Edges() int { return g.edges }
+
+// Online reports whether p participates in the overlay.
+func (g *Graph) Online(p PeerID) bool {
+	return g.valid(p) && g.online[p]
+}
+
+// OnlineCount returns the number of online peers.
+func (g *Graph) OnlineCount() int {
+	c := 0
+	for _, on := range g.online {
+		if on {
+			c++
+		}
+	}
+	return c
+}
+
+func (g *Graph) valid(p PeerID) bool { return p >= 0 && int(p) < g.n }
+
+// AddLink inserts an undirected link a—b. Adding an existing link is a
+// no-op.
+func (g *Graph) AddLink(a, b PeerID) error {
+	if !g.valid(a) || !g.valid(b) {
+		return ErrBadPeer
+	}
+	if a == b {
+		return ErrSelfLink
+	}
+	if !g.online[a] || !g.online[b] {
+		return ErrOffline
+	}
+	if _, ok := g.adj[a][b]; ok {
+		return nil
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	g.edges++
+	return nil
+}
+
+// RemoveLink deletes the undirected link a—b if present.
+func (g *Graph) RemoveLink(a, b PeerID) {
+	if !g.valid(a) || !g.valid(b) {
+		return
+	}
+	if _, ok := g.adj[a][b]; !ok {
+		return
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	g.edges--
+}
+
+// Linked reports whether a and b are neighbours.
+func (g *Graph) Linked(a, b PeerID) bool {
+	if !g.valid(a) || !g.valid(b) {
+		return false
+	}
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Degree returns the number of neighbours of p (0 if offline or invalid).
+func (g *Graph) Degree(p PeerID) int {
+	if !g.valid(p) {
+		return 0
+	}
+	return len(g.adj[p])
+}
+
+// Neighbors returns p's neighbour list in ascending order. Sorting makes
+// iteration order deterministic, which the simulator relies on for
+// reproducible runs.
+func (g *Graph) Neighbors(p PeerID) []PeerID {
+	if !g.valid(p) {
+		return nil
+	}
+	out := make([]PeerID, 0, len(g.adj[p]))
+	for q := range g.adj[p] {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AvgDegree returns the mean degree over online peers.
+func (g *Graph) AvgDegree() float64 {
+	online := g.OnlineCount()
+	if online == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(online)
+}
+
+// Leave takes p offline, removing all its links. It returns the former
+// neighbour set so churn logic can repair connectivity.
+func (g *Graph) Leave(p PeerID) []PeerID {
+	if !g.valid(p) || !g.online[p] {
+		return nil
+	}
+	former := g.Neighbors(p)
+	for _, q := range former {
+		g.RemoveLink(p, q)
+	}
+	g.online[p] = false
+	return former
+}
+
+// Join brings p back online with no links; the caller wires it to new
+// neighbours.
+func (g *Graph) Join(p PeerID) error {
+	if !g.valid(p) {
+		return ErrBadPeer
+	}
+	g.online[p] = true
+	return nil
+}
+
+// ConnectedComponents returns the sizes of connected components among online
+// peers, largest first.
+func (g *Graph) ConnectedComponents() []int {
+	seen := make([]bool, g.n)
+	var sizes []int
+	for start := 0; start < g.n; start++ {
+		if seen[start] || !g.online[start] {
+			continue
+		}
+		size := 0
+		stack := []PeerID{PeerID(start)}
+		seen[start] = true
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for q := range g.adj[p] {
+				if !seen[q] {
+					seen[q] = true
+					stack = append(stack, q)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// IsConnected reports whether all online peers form one component.
+func (g *Graph) IsConnected() bool {
+	cc := g.ConnectedComponents()
+	return len(cc) <= 1
+}
+
+// RandomOnlinePeer returns a uniformly random online peer, excluding those
+// in the excluded set. It returns -1 if none is available.
+func (g *Graph) RandomOnlinePeer(r *rand.Rand, excluded map[PeerID]bool) PeerID {
+	candidates := make([]PeerID, 0, g.n)
+	for i := 0; i < g.n; i++ {
+		p := PeerID(i)
+		if g.online[i] && !excluded[p] {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[r.Intn(len(candidates))]
+}
+
+// String summarises the graph for traces.
+func (g *Graph) String() string {
+	return fmt.Sprintf("overlay{n=%d online=%d edges=%d avgDeg=%.2f}",
+		g.n, g.OnlineCount(), g.edges, g.AvgDegree())
+}

@@ -1,0 +1,76 @@
+package protocol
+
+import (
+	"github.com/p2prepro/locaware/internal/cache"
+	"github.com/p2prepro/locaware/internal/keywords"
+	"github.com/p2prepro/locaware/internal/overlay"
+)
+
+// Dicas is the filename-search baseline (Wang et al., TPDS 2006) as
+// described in §2/§3.2: query responses for file f are cached only at peers
+// whose Gid equals hash(f) mod M, and queries route towards neighbours in
+// the matching group. It keeps a single provider per cached filename and
+// ignores physical location. Under the keyword workload its routing is
+// misled: a requester can only hash the keywords it has, which matches
+// hash(f) only for full-filename queries (§5.2).
+type Dicas struct{}
+
+var _ Behavior = Dicas{}
+
+// Name implements Behavior.
+func (Dicas) Name() string { return "Dicas" }
+
+// UsesBloom implements Behavior.
+func (Dicas) UsesBloom() bool { return false }
+
+// CacheConfig implements Behavior: one provider per filename — Locaware's
+// multi-provider index is one of its two advantages over Dicas (§5.2).
+func (Dicas) CacheConfig(base cache.Config) cache.Config {
+	base.MaxProvidersPerFile = 1
+	return base
+}
+
+// Forward implements Behavior: neighbours whose Gid matches the query's
+// filename hash; if none, the highest-degree neighbour keeps the query
+// alive.
+func (Dicas) Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID {
+	want := gidOfQuery(q.Q, net.Config.GroupCount)
+	var out []overlay.PeerID
+	for _, nb := range net.Graph.Neighbors(n.ID) {
+		if nb == from || q.onPath(nb) {
+			continue
+		}
+		if net.nodes[nb].Gid == want {
+			out = append(out, nb)
+		}
+	}
+	if len(out) == 0 {
+		return net.fallbackNeighbors(n, q, from)
+	}
+	net.Forwarding.GidMatched += uint64(len(out))
+	return out
+}
+
+// CacheResponse implements Behavior: cache at matching-Gid peers on the
+// reverse path (Eq. 1), storing the responding provider only.
+func (Dicas) CacheResponse(net *Network, n *Node, rsp *ResponseMsg) {
+	if gidOfName(rsp.File.String(), net.Config.GroupCount) != n.Gid {
+		return
+	}
+	now := net.Engine.Now()
+	for _, p := range rsp.Providers {
+		n.RI.Put(rsp.File, p.Peer, p.LocID, now)
+	}
+}
+
+// OnAnswer implements Behavior: Dicas does not learn from requesters.
+func (Dicas) OnAnswer(*Network, *Node, *QueryMsg, keywords.Filename) {}
+
+// SelectProvider implements Behavior: first provider, no location
+// awareness.
+func (Dicas) SelectProvider(_ *Network, _ *Node, provs []cache.Provider) (cache.Provider, bool) {
+	if len(provs) == 0 {
+		return cache.Provider{}, false
+	}
+	return provs[0], true
+}

@@ -1,0 +1,58 @@
+package protocol
+
+import (
+	"github.com/p2prepro/locaware/internal/cache"
+	"github.com/p2prepro/locaware/internal/keywords"
+	"github.com/p2prepro/locaware/internal/overlay"
+)
+
+// Flooding is the blind Gnutella baseline: every query is forwarded to all
+// neighbours (except the sender) until TTL expires, with no index caching
+// and no location awareness. It anchors the traffic comparison of Fig. 3
+// and the success-rate ceiling of Fig. 4.
+type Flooding struct{}
+
+var _ Behavior = Flooding{}
+
+// Name implements Behavior.
+func (Flooding) Name() string { return "Flooding" }
+
+// UsesBloom implements Behavior.
+func (Flooding) UsesBloom() bool { return false }
+
+// CacheConfig implements Behavior. Flooding performs no index caching; the
+// cache is kept at minimum size and never written.
+func (Flooding) CacheConfig(base cache.Config) cache.Config {
+	base.MaxFilenames = 1
+	base.MaxProvidersPerFile = 1
+	return base
+}
+
+// Forward implements Behavior: all neighbours except the sender and peers
+// already on the path.
+func (Flooding) Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID {
+	var out []overlay.PeerID
+	for _, nb := range net.Graph.Neighbors(n.ID) {
+		if nb == from || q.onPath(nb) {
+			continue
+		}
+		out = append(out, nb)
+	}
+	net.Forwarding.FloodAll += uint64(len(out))
+	return out
+}
+
+// CacheResponse implements Behavior: flooding caches nothing.
+func (Flooding) CacheResponse(*Network, *Node, *ResponseMsg) {}
+
+// OnAnswer implements Behavior: no answering-side state.
+func (Flooding) OnAnswer(*Network, *Node, *QueryMsg, keywords.Filename) {}
+
+// SelectProvider implements Behavior: take the first advertised provider —
+// blind search has no basis for preferring one copy over another.
+func (Flooding) SelectProvider(_ *Network, _ *Node, provs []cache.Provider) (cache.Provider, bool) {
+	if len(provs) == 0 {
+		return cache.Provider{}, false
+	}
+	return provs[0], true
+}

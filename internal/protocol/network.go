@@ -1,0 +1,600 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/p2prepro/locaware/internal/cache"
+	"github.com/p2prepro/locaware/internal/keywords"
+	"github.com/p2prepro/locaware/internal/metrics"
+	"github.com/p2prepro/locaware/internal/netmodel"
+	"github.com/p2prepro/locaware/internal/overlay"
+	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/trace"
+)
+
+// Config holds the protocol-plane parameters of §5.1.
+type Config struct {
+	// TTL bounds query propagation; paper: 7.
+	TTL int
+	// GroupCount is M, the number of Gid groups (Eq. 1).
+	GroupCount int
+	// Cache bounds each peer's response index.
+	Cache cache.Config
+	// BloomBits / BloomK size the keyword Bloom filter; paper: 1200 bits.
+	BloomBits, BloomK int
+	// BloomGossipPeriod is how often peers push BF updates to neighbours.
+	BloomGossipPeriod sim.Time
+	// FinalizeAfter is how long after submission a query's record is
+	// sealed. It must exceed TTL × max one-way latency + the response trip.
+	FinalizeAfter sim.Time
+	// ProcessingDelay models per-hop forwarding cost added to link latency.
+	ProcessingDelay sim.Time
+	// FallbackFanout is how many neighbours a selective protocol falls
+	// back to when no neighbour matches its routing predicate (the
+	// highest-degree neighbour plus FallbackFanout-1 random others). 1
+	// reproduces a pure "highly connected neighbour as a last resort"
+	// walk; the default 2 keeps enough branching for the walk to cover a
+	// useful fraction of the overlay within TTL.
+	FallbackFanout int
+}
+
+// DefaultConfig returns the paper's §5.1 parameters.
+func DefaultConfig() Config {
+	return Config{
+		TTL:               7,
+		GroupCount:        4,
+		Cache:             cache.DefaultConfig(),
+		BloomBits:         1200,
+		BloomK:            6,
+		BloomGossipPeriod: 30 * sim.Second,
+		FinalizeAfter:     30 * sim.Second,
+		ProcessingDelay:   sim.Millisecond,
+		FallbackFanout:    2,
+	}
+}
+
+// Behavior is a protocol's decision logic. One Network instance runs one
+// behaviour; the figure harness runs a Network per curve.
+type Behavior interface {
+	// Name identifies the protocol in results.
+	Name() string
+	// UsesBloom reports whether nodes maintain and gossip Bloom filters.
+	UsesBloom() bool
+	// CacheConfig adapts the base cache bounds for this protocol (e.g. the
+	// Dicas baselines keep a single provider per filename, §5.2: "the
+	// response index in Locaware has for each file more possibilities of
+	// providers than in Dicas").
+	CacheConfig(base cache.Config) cache.Config
+	// Forward selects the neighbours of n to forward q to; from is the
+	// peer the query arrived from (the origin itself on first hop).
+	Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID
+	// CacheResponse lets reverse-path node n cache the response per the
+	// protocol's placement rule.
+	CacheResponse(net *Network, n *Node, rsp *ResponseMsg)
+	// OnAnswer runs at the answering node; Locaware inserts the requester
+	// as a new provider here (§4.1.2).
+	OnAnswer(net *Network, n *Node, q *QueryMsg, f keywords.Filename)
+	// SelectProvider picks the download source among the response's
+	// providers at the requester.
+	SelectProvider(net *Network, requester *Node, provs []cache.Provider) (cache.Provider, bool)
+}
+
+// pendingQuery is requester-side bookkeeping for one in-flight query.
+type pendingQuery struct {
+	origin overlay.PeerID
+	// col is the collector the query will finalise into; captured at
+	// submission so a mid-run collector reset (warmup) does not leak
+	// in-flight queries into the measured phase.
+	col       *metrics.Collector
+	messages  int
+	answered  bool
+	rtt       float64
+	sameLoc   bool
+	fromCache bool
+	hops      int
+	finalized bool
+}
+
+// ForwardStats counts routing decisions, for diagnosis and the routing
+// ablations: how often each selection tier fired.
+type ForwardStats struct {
+	// BloomMatched counts forwards chosen by a Bloom-filter match.
+	BloomMatched uint64
+	// GidMatched counts forwards chosen by group-Id match.
+	GidMatched uint64
+	// Fallback counts last-resort forwards (highest-degree + random).
+	Fallback uint64
+	// FloodAll counts blind forwards (Flooding only).
+	FloodAll uint64
+}
+
+// Network binds the substrates and one protocol behaviour into a runnable
+// system. It is single-threaded on top of the sim engine.
+type Network struct {
+	Engine    *sim.Engine
+	Graph     *overlay.Graph
+	Model     *netmodel.Model
+	Locator   *netmodel.Locator
+	Behavior  Behavior
+	Collector *metrics.Collector
+	Config    Config
+
+	nodes   []*Node
+	rng     *rand.Rand
+	nextID  QueryID
+	pending map[QueryID]*pendingQuery
+
+	// Forwarding tallies routing decisions across the run.
+	Forwarding ForwardStats
+
+	// Tracer, when non-nil, receives a structured event for every
+	// significant protocol action. Tracing a paper-scale run is cheap
+	// with a bounded trace.Buffer.
+	Tracer trace.Tracer
+
+	// controlMessages counts Bloom gossip messages; controlBits their
+	// encoded payload size (footnote 1 accounting). Kept separate from
+	// search traffic, as the paper does.
+	controlMessages uint64
+	controlBits     uint64
+}
+
+// NewNetwork assembles a network. gidRng draws each node's random Gid;
+// protoRng drives protocol tie-breaking.
+func NewNetwork(eng *sim.Engine, g *overlay.Graph, m *netmodel.Model, loc *netmodel.Locator,
+	b Behavior, cfg Config, gidRng, protoRng *rand.Rand) *Network {
+	if cfg.TTL <= 0 {
+		cfg.TTL = 7
+	}
+	if cfg.GroupCount <= 0 {
+		cfg.GroupCount = 4
+	}
+	if cfg.FinalizeAfter <= 0 {
+		cfg.FinalizeAfter = 30 * sim.Second
+	}
+	if cfg.FallbackFanout <= 0 {
+		cfg.FallbackFanout = 2
+	}
+	net := &Network{
+		Engine:    eng,
+		Graph:     g,
+		Model:     m,
+		Locator:   loc,
+		Behavior:  b,
+		Collector: metrics.NewCollector(),
+		Config:    cfg,
+		rng:       protoRng,
+		pending:   make(map[QueryID]*pendingQuery),
+	}
+	cacheCfg := b.CacheConfig(cfg.Cache)
+	net.nodes = make([]*Node, g.N())
+	for i := range net.nodes {
+		net.nodes[i] = newNode(overlay.PeerID(i), gidRng.Intn(cfg.GroupCount),
+			loc.LocID(i), cacheCfg, b.UsesBloom(), cfg.BloomBits, cfg.BloomK)
+	}
+	if b.UsesBloom() && cfg.BloomGossipPeriod > 0 {
+		eng.Every(cfg.BloomGossipPeriod, func(*sim.Engine) bool {
+			net.gossipBlooms()
+			return true
+		})
+	}
+	return net
+}
+
+// emit sends a trace event when tracing is enabled. detail is built lazily
+// so disabled tracing costs one nil check.
+func (net *Network) emit(k trace.Kind, query QueryID, peer, from overlay.PeerID, detail func() string) {
+	if net.Tracer == nil {
+		return
+	}
+	var d string
+	if detail != nil {
+		d = detail()
+	}
+	net.Tracer.Emit(trace.Event{
+		At:     net.Engine.Now(),
+		Kind:   k,
+		Query:  uint64(query),
+		Peer:   int(peer),
+		From:   int(from),
+		Detail: d,
+	})
+}
+
+// Node returns peer p's protocol state.
+func (net *Network) Node(p overlay.PeerID) *Node { return net.nodes[p] }
+
+// Nodes returns the node table (shared slice; callers must not mutate).
+func (net *Network) Nodes() []*Node { return net.nodes }
+
+// ControlMessages returns the number of Bloom gossip messages sent.
+func (net *Network) ControlMessages() uint64 { return net.controlMessages }
+
+// ControlBits returns the total gossiped delta payload in bits.
+func (net *Network) ControlBits() uint64 { return net.controlBits }
+
+// gossipBlooms runs one gossip round: every online node whose filter
+// changed since its last announcement sends the update to each neighbour
+// as a real message, delivered after link latency (§4.2: neighbours hold
+// possibly stale copies). Traffic is charged per neighbour at the delta's
+// encoded size (footnote 1) even though the delivered payload installs the
+// full snapshot — the delta is what the wire would carry.
+func (net *Network) gossipBlooms() {
+	for _, n := range net.nodes {
+		if !net.Graph.Online(n.ID) {
+			continue
+		}
+		d, err := n.PublishBloom()
+		if err != nil || d.Empty() {
+			continue
+		}
+		snapshot := n.published.Clone()
+		from := n.ID
+		for _, nb := range net.Graph.Neighbors(n.ID) {
+			if !net.Graph.Online(nb) {
+				continue
+			}
+			net.controlMessages++
+			net.controlBits += uint64(d.SizeBits())
+			net.emit(trace.BloomGossip, 0, nb, from, func() string {
+				return fmt.Sprintf("delta=%dbits", d.SizeBits())
+			})
+			nb := nb
+			net.send(from, nb, func(*sim.Engine) {
+				net.nodes[nb].setNeighborBloom(from, snapshot)
+			})
+		}
+	}
+}
+
+// SubmitQuery injects a query at peer origin for query q at the current
+// virtual time, and schedules its finalisation. It returns the QueryID.
+func (net *Network) SubmitQuery(origin overlay.PeerID, q keywords.Query) QueryID {
+	net.nextID++
+	id := net.nextID
+	pq := &pendingQuery{origin: origin, col: net.Collector}
+	net.pending[id] = pq
+
+	msg := &QueryMsg{
+		ID:        id,
+		Q:         q,
+		Origin:    origin,
+		OriginLoc: net.nodes[origin].Loc,
+		TTL:       net.Config.TTL,
+		Path:      []overlay.PeerID{origin},
+	}
+	net.Engine.MustSchedule(net.Config.FinalizeAfter, func(*sim.Engine) {
+		net.finalize(id)
+	})
+	net.emit(trace.QuerySubmit, id, origin, -1, q.String)
+	if !net.Graph.Online(origin) {
+		return id
+	}
+	n := net.nodes[origin]
+	n.seen[id] = true
+	// Local check first: the requester may already hold a matching file or
+	// index.
+	if f, ok := n.storageMatch(q); ok {
+		pq.answered = true
+		pq.rtt = 0
+		pq.sameLoc = true
+		pq.hops = 0
+		net.emit(trace.StorageHit, id, origin, -1, f.String)
+		return id
+	}
+	if ms := n.RI.Lookup(q, net.Engine.Now()); len(ms) != 0 {
+		if prov, ok := net.Behavior.SelectProvider(net, n, net.liveProviders(ms[0].Providers)); ok {
+			pq.fromCache = true
+			net.emit(trace.CacheHit, id, origin, -1, ms[0].File.String)
+			net.completeDownload(id, pq, n, ms[0].File, prov, 0)
+			return id
+		}
+	}
+	net.forward(n, msg, origin)
+	return id
+}
+
+// forward runs the behaviour's neighbour selection and ships the query.
+func (net *Network) forward(n *Node, q *QueryMsg, from overlay.PeerID) {
+	if q.TTL <= 0 {
+		return
+	}
+	targets := net.Behavior.Forward(net, n, q, from)
+	for _, t := range targets {
+		if t == n.ID || !net.Graph.Online(t) || !net.Graph.Linked(n.ID, t) {
+			continue
+		}
+		branch := q.clone()
+		branch.TTL--
+		branch.Path = append(branch.Path, t)
+		net.send(n.ID, t, func(*sim.Engine) { net.receiveQuery(t, branch) })
+		net.countMessage(q.ID)
+		net.emit(trace.QueryForward, q.ID, t, n.ID, nil)
+	}
+}
+
+// send schedules delivery of a message over link a->b with the physical
+// one-way latency plus processing delay.
+func (net *Network) send(a, b overlay.PeerID, h sim.Handler) {
+	delay := sim.FromMillis(net.Model.OneWay(int(a), int(b))) + net.Config.ProcessingDelay
+	net.Engine.MustSchedule(delay, h)
+}
+
+// countMessage attributes one overlay message to query id.
+func (net *Network) countMessage(id QueryID) {
+	if pq, ok := net.pending[id]; ok && !pq.finalized {
+		pq.messages++
+	}
+}
+
+// receiveQuery processes an arriving query at peer p.
+func (net *Network) receiveQuery(p overlay.PeerID, q *QueryMsg) {
+	if !net.Graph.Online(p) {
+		return
+	}
+	n := net.nodes[p]
+	if n.seen[q.ID] {
+		net.emit(trace.QueryDuplicate, q.ID, p, -1, nil)
+		return // duplicate: already counted at send time
+	}
+	n.seen[q.ID] = true
+
+	// Storage hit?
+	if f, ok := n.storageMatch(q.Q); ok {
+		net.emit(trace.StorageHit, q.ID, p, -1, f.String)
+		rsp := &ResponseMsg{
+			ID:          q.ID,
+			File:        f,
+			Providers:   []cache.Provider{{Peer: p, LocID: n.Loc, LastSeen: net.Engine.Now()}},
+			QueryKws:    q.Q,
+			Origin:      q.Origin,
+			OriginLoc:   q.OriginLoc,
+			Path:        q.Path[:len(q.Path)-1],
+			HitHops:     len(q.Path) - 1,
+			FromStorage: true,
+		}
+		net.Behavior.OnAnswer(net, n, q, f)
+		net.sendResponse(p, rsp)
+		return
+	}
+	// Response-index hit?
+	if ms := n.RI.Lookup(q.Q, net.Engine.Now()); len(ms) != 0 {
+		m := net.selectIndexMatch(ms, q)
+		net.emit(trace.CacheHit, q.ID, p, -1, m.File.String)
+		rsp := &ResponseMsg{
+			ID:        q.ID,
+			File:      m.File,
+			Providers: net.orderProvidersForOrigin(m.Providers, q.OriginLoc),
+			QueryKws:  q.Q,
+			Origin:    q.Origin,
+			OriginLoc: q.OriginLoc,
+			Path:      q.Path[:len(q.Path)-1],
+			HitHops:   len(q.Path) - 1,
+		}
+		net.Behavior.OnAnswer(net, n, q, m.File)
+		net.sendResponse(p, rsp)
+		return
+	}
+	net.forward(n, q, q.Path[len(q.Path)-2])
+}
+
+// selectIndexMatch picks among multiple matching cached filenames: prefer
+// the one with a provider in the origin's locality, then the one with most
+// providers.
+func (net *Network) selectIndexMatch(ms []cache.Match, q *QueryMsg) cache.Match {
+	best := ms[0]
+	bestScore := -1
+	for _, m := range ms {
+		score := len(m.Providers)
+		for _, pr := range m.Providers {
+			if pr.LocID == q.OriginLoc {
+				score += 1000
+				break
+			}
+		}
+		if score > bestScore {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}
+
+// orderProvidersForOrigin sorts providers so those matching the origin's
+// locality come first (the §4.1.2 answer-construction rule: the response
+// contains the entry corresponding to the originator's locId plus other
+// providers as alternatives).
+func (net *Network) orderProvidersForOrigin(ps []cache.Provider, origin netmodel.LocID) []cache.Provider {
+	out := make([]cache.Provider, 0, len(ps))
+	for _, p := range ps {
+		if p.LocID == origin {
+			out = append(out, p)
+		}
+	}
+	for _, p := range ps {
+		if p.LocID != origin {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// sendResponse walks the response one hop back along the reverse path,
+// letting each traversed node apply the protocol's caching rule, and
+// completes the query at the origin.
+func (net *Network) sendResponse(from overlay.PeerID, rsp *ResponseMsg) {
+	if len(rsp.Path) == 0 {
+		// The answering node is the origin's neighbourless case; deliver
+		// locally (should not happen: origin handles local hits).
+		net.deliverResponse(rsp.Origin, rsp)
+		return
+	}
+	next := rsp.Path[len(rsp.Path)-1]
+	rest := rsp.Path[:len(rsp.Path)-1]
+	net.countMessage(rsp.ID)
+	net.emit(trace.ResponseHop, rsp.ID, next, from, nil)
+	net.send(from, next, func(*sim.Engine) {
+		cp := *rsp
+		cp.Path = rest
+		net.deliverResponse(next, &cp)
+	})
+}
+
+// deliverResponse processes the response at peer p: caching, then either
+// completion (p is the origin) or the next reverse hop.
+func (net *Network) deliverResponse(p overlay.PeerID, rsp *ResponseMsg) {
+	if !net.Graph.Online(p) {
+		return // reverse path broken by churn; response is lost
+	}
+	n := net.nodes[p]
+	before := n.RI.Inserts() + n.RI.Refreshes()
+	net.Behavior.CacheResponse(net, n, rsp)
+	if n.RI.Inserts()+n.RI.Refreshes() != before {
+		net.emit(trace.ResponseCached, rsp.ID, p, -1, rsp.File.String)
+	}
+	if p == rsp.Origin {
+		net.completeQuery(n, rsp)
+		return
+	}
+	net.sendResponse(p, rsp)
+}
+
+// completeQuery runs requester-side provider selection and download
+// accounting for the first arriving response; later responses are ignored.
+func (net *Network) completeQuery(n *Node, rsp *ResponseMsg) {
+	pq, ok := net.pending[rsp.ID]
+	if !ok || pq.finalized || pq.answered {
+		return
+	}
+	prov, ok := net.Behavior.SelectProvider(net, n, net.liveProviders(rsp.Providers))
+	if !ok {
+		return // all advertised providers are gone; await another response
+	}
+	pq.fromCache = !rsp.FromStorage
+	net.completeDownload(rsp.ID, pq, n, rsp.File, prov, rsp.HitHops)
+}
+
+// completeDownload finalises the download bookkeeping: distance metric and
+// natural replication (the requester becomes a provider, §3.1).
+func (net *Network) completeDownload(id QueryID, pq *pendingQuery, n *Node, f keywords.Filename, prov cache.Provider, hops int) {
+	pq.answered = true
+	pq.rtt = net.Model.RTT(int(n.ID), int(prov.Peer))
+	pq.sameLoc = prov.LocID == n.Loc
+	pq.hops = hops
+	n.AddFile(f)
+	net.emit(trace.DownloadComplete, id, n.ID, prov.Peer, func() string {
+		return fmt.Sprintf("%s rtt=%.1fms sameLoc=%v", f.String(), pq.rtt, pq.sameLoc)
+	})
+}
+
+// liveProviders filters out offline providers (stale indexes under churn).
+func (net *Network) liveProviders(ps []cache.Provider) []cache.Provider {
+	out := ps[:0:0]
+	for _, p := range ps {
+		if net.Graph.Online(p.Peer) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// finalize seals a query's record into the collector.
+func (net *Network) finalize(id QueryID) {
+	pq, ok := net.pending[id]
+	if !ok || pq.finalized {
+		return
+	}
+	pq.finalized = true
+	if !pq.answered {
+		net.emit(trace.QueryFailed, id, pq.origin, -1, nil)
+	}
+	pq.col.Record(metrics.QueryRecord{
+		Messages:     pq.messages,
+		Success:      pq.answered,
+		DownloadRTT:  pq.rtt,
+		SameLocality: pq.sameLoc,
+		FromCache:    pq.fromCache,
+		Hops:         pq.hops,
+	})
+	delete(net.pending, id)
+}
+
+// FlushPending finalises all still-pending queries immediately (used at
+// the end of a bounded run).
+func (net *Network) FlushPending() {
+	for id := range net.pending {
+		net.finalize(id)
+	}
+}
+
+// ResetCollector swaps in a fresh metrics collector and returns the old
+// one. Queries already in flight keep finalising into the collector that
+// was active when they were submitted, so a warmup phase cannot
+// contaminate the measured phase.
+func (net *Network) ResetCollector() *metrics.Collector {
+	old := net.Collector
+	net.Collector = metrics.NewCollector()
+	return old
+}
+
+// fallbackNeighbors implements the last-resort forwarding set shared by the
+// selective protocols: the highest-degree eligible neighbour (§4.2's
+// "highly connected neighbor") plus up to FallbackFanout-1 random other
+// eligible neighbours to keep the walk from degenerating into a single
+// path.
+func (net *Network) fallbackNeighbors(n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID {
+	best, ok := net.highestDegreeNeighbor(n, q, from)
+	if !ok {
+		return nil
+	}
+	var eligible []overlay.PeerID
+	for _, nb := range net.Graph.Neighbors(n.ID) {
+		if nb == from || q.onPath(nb) || !net.Graph.Online(nb) {
+			continue
+		}
+		eligible = append(eligible, nb)
+	}
+	out := []overlay.PeerID{best}
+	if net.Config.FallbackFanout <= 1 || len(eligible) == 1 {
+		net.Forwarding.Fallback++
+		return out
+	}
+	// Random extras among the remaining eligible neighbours.
+	var rest []overlay.PeerID
+	for _, nb := range eligible {
+		if nb != best {
+			rest = append(rest, nb)
+		}
+	}
+	net.rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	extra := net.Config.FallbackFanout - 1
+	if extra > len(rest) {
+		extra = len(rest)
+	}
+	out = append(out, rest[:extra]...)
+	net.Forwarding.Fallback += uint64(len(out))
+	return out
+}
+
+// highestDegreeNeighbor returns n's highest-degree neighbour not on the
+// query path and not the sender — the "highly connected neighbor as a last
+// resort" rule of §4.2. Ties break towards the lower peer id for
+// determinism. ok is false when every neighbour is excluded.
+func (net *Network) highestDegreeNeighbor(n *Node, q *QueryMsg, from overlay.PeerID) (overlay.PeerID, bool) {
+	best := overlay.PeerID(-1)
+	bestDeg := -1
+	for _, nb := range net.Graph.Neighbors(n.ID) {
+		if nb == from || q.onPath(nb) || !net.Graph.Online(nb) {
+			continue
+		}
+		if d := net.Graph.Degree(nb); d > bestDeg {
+			best, bestDeg = nb, d
+		}
+	}
+	return best, best >= 0
+}
+
+// String describes the network.
+func (net *Network) String() string {
+	return fmt.Sprintf("network{%s n=%d}", net.Behavior.Name(), len(net.nodes))
+}

@@ -1,0 +1,176 @@
+package protocol
+
+import (
+	"hash/fnv"
+
+	"github.com/p2prepro/locaware/internal/bloom"
+	"github.com/p2prepro/locaware/internal/cache"
+	"github.com/p2prepro/locaware/internal/keywords"
+	"github.com/p2prepro/locaware/internal/netmodel"
+	"github.com/p2prepro/locaware/internal/overlay"
+)
+
+// Node is one peer's protocol state.
+type Node struct {
+	ID overlay.PeerID
+	// Gid is the node's randomly chosen group id in [0, M) (§3.2).
+	Gid int
+	// Loc is the node's physical locality.
+	Loc netmodel.LocID
+	// files is the shared storage: canonical name -> filename. Peers that
+	// download a file become providers (§3.1), so this grows during a run.
+	files map[string]keywords.Filename
+	// RI is the response index (§3.2).
+	RI *cache.Index
+
+	// cbf is the local counting Bloom filter over keywords of cached
+	// filenames; published is the snapshot most recently announced to
+	// neighbours. Only maintained when the behaviour uses Bloom routing.
+	cbf       *bloom.Counting
+	published *bloom.Filter
+	// neighborBF holds this node's copies of its neighbours' announced
+	// filters (§4.2: "peer n stores its direct neighbors' Gid and BF"),
+	// updated by gossip messages after link latency — so routing decisions
+	// run on possibly stale local knowledge, exactly as deployed peers
+	// would.
+	neighborBF map[overlay.PeerID]*bloom.Filter
+
+	// seen suppresses duplicate query deliveries (Gnutella semantics).
+	seen map[QueryID]bool
+}
+
+// bloomSync wires cache events into the node's counting filter, keeping
+// BF_n consistent with RI_n as §4.2 requires ("whenever n overhears a
+// response qrf such that f matches Gid_n, n caches qrf in RI_n, and then
+// inserts each keyword of f as an element of BF_n"; discarded filenames
+// remove their keywords).
+type bloomSync struct{ n *Node }
+
+func (b bloomSync) FilenameAdded(f keywords.Filename) {
+	if b.n.cbf == nil {
+		return
+	}
+	for _, kw := range f.Keywords() {
+		b.n.cbf.Add(string(kw))
+	}
+}
+
+func (b bloomSync) FilenameEvicted(f keywords.Filename) {
+	if b.n.cbf == nil {
+		return
+	}
+	for _, kw := range f.Keywords() {
+		b.n.cbf.Remove(string(kw))
+	}
+}
+
+// newNode builds a node with the given cache bounds; useBloom enables the
+// Bloom filter machinery (Locaware variants only).
+func newNode(id overlay.PeerID, gid int, loc netmodel.LocID, cacheCfg cache.Config, useBloom bool, bloomBits, bloomK int) *Node {
+	n := &Node{
+		ID:    id,
+		Gid:   gid,
+		Loc:   loc,
+		files: make(map[string]keywords.Filename),
+		seen:  make(map[QueryID]bool),
+	}
+	n.RI = cache.New(cacheCfg, bloomSync{n})
+	if useBloom {
+		n.cbf = bloom.NewCounting(bloomBits, bloomK)
+		n.published = bloom.New(bloomBits, bloomK)
+		n.neighborBF = make(map[overlay.PeerID]*bloom.Filter)
+	}
+	return n
+}
+
+// NeighborBloom returns this node's copy of neighbour nb's announced
+// filter, or nil when none has been received yet (new link, pre-gossip, or
+// Bloom routing disabled).
+func (n *Node) NeighborBloom(nb overlay.PeerID) *bloom.Filter {
+	if n.neighborBF == nil {
+		return nil
+	}
+	return n.neighborBF[nb]
+}
+
+// setNeighborBloom installs a received filter copy.
+func (n *Node) setNeighborBloom(nb overlay.PeerID, f *bloom.Filter) {
+	if n.neighborBF != nil {
+		n.neighborBF[nb] = f
+	}
+}
+
+// AddFile inserts f into the node's shared storage.
+func (n *Node) AddFile(f keywords.Filename) { n.files[f.String()] = f }
+
+// HasFile reports whether the node shares filename f.
+func (n *Node) HasFile(f keywords.Filename) bool {
+	_, ok := n.files[f.String()]
+	return ok
+}
+
+// NumFiles returns the size of the node's shared storage.
+func (n *Node) NumFiles() int { return len(n.files) }
+
+// storageMatch returns a filename in storage satisfying q, if any. With
+// the small per-peer stores of the evaluation a linear scan is the right
+// tool; deterministic order comes from scanning for the smallest matching
+// name.
+func (n *Node) storageMatch(q keywords.Query) (keywords.Filename, bool) {
+	var best keywords.Filename
+	found := false
+	for name, f := range n.files {
+		if !f.Matches(q) {
+			continue
+		}
+		if !found || name < best.String() {
+			best = f
+			found = true
+		}
+	}
+	return best, found
+}
+
+// PublishBloom refreshes the node's published Bloom snapshot from its
+// counting filter and returns the delta against the previous snapshot
+// (what the node would gossip to neighbours, footnote 1).
+func (n *Node) PublishBloom() (bloom.Delta, error) {
+	if n.cbf == nil {
+		return bloom.Delta{}, nil
+	}
+	fresh := n.cbf.Snapshot()
+	d, err := bloom.DiffFilters(n.published, fresh)
+	if err != nil {
+		return bloom.Delta{}, err
+	}
+	if err := n.published.CopyFrom(fresh); err != nil {
+		return bloom.Delta{}, err
+	}
+	return d, nil
+}
+
+// PublishedBloom returns the snapshot neighbours read, or nil when Bloom
+// routing is disabled.
+func (n *Node) PublishedBloom() *bloom.Filter { return n.published }
+
+// gidOfName maps a canonical filename string to its group id:
+// hash(f) mod M (Eq. 1).
+func gidOfName(name string, m int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(m))
+}
+
+// gidOfKeyword maps a single keyword to a group id (Dicas-Keys).
+func gidOfKeyword(kw keywords.Keyword, m int) int {
+	return gidOfName(string(kw), m)
+}
+
+// gidOfQuery treats the query's canonical keyword string as if it were the
+// filename — the only Gid a requester can compute without knowing the full
+// filename. This is exactly the mismatch that "misleads keyword queries"
+// in Dicas (§5.2): it equals gidOfName(f) only when the query contains all
+// of f's keywords.
+func gidOfQuery(q keywords.Query, m int) int {
+	return gidOfName(keywords.NewFilename(q.Kws...).String(), m)
+}

@@ -1,0 +1,745 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/p2prepro/locaware/internal/cache"
+	"github.com/p2prepro/locaware/internal/keywords"
+	"github.com/p2prepro/locaware/internal/netmodel"
+	"github.com/p2prepro/locaware/internal/overlay"
+	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/trace"
+)
+
+// testNet builds a deterministic network: explicit positions, explicit
+// edges, corner landmarks, configurable behaviour.
+func testNet(t *testing.T, b Behavior, pts []netmodel.Point, edges [][2]int, cfg Config) *Network {
+	t.Helper()
+	eng := sim.NewEngine()
+	model := netmodel.NewModel(pts, 1000, netmodel.LatencyConfig{MinRTT: 10, MaxRTT: 500}, 0)
+	lm := netmodel.FixedLandmarks([]netmodel.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}, {X: 0, Y: 1000}, {X: 1000, Y: 1000}})
+	loc := netmodel.NewLocator(model, lm)
+	g := overlay.NewGraph(len(pts))
+	for _, e := range edges {
+		if err := g.AddLink(overlay.PeerID(e[0]), overlay.PeerID(e[1])); err != nil {
+			t.Fatalf("link %v: %v", e, err)
+		}
+	}
+	gidRng := rand.New(rand.NewSource(1))
+	protoRng := rand.New(rand.NewSource(2))
+	return NewNetwork(eng, g, model, loc, b, cfg, gidRng, protoRng)
+}
+
+// linePoints lays n peers on a horizontal line, spaced apart.
+func linePoints(n int) []netmodel.Point {
+	pts := make([]netmodel.Point, n)
+	for i := range pts {
+		pts[i] = netmodel.Point{X: float64(i) * 900 / float64(n), Y: 100}
+	}
+	return pts
+}
+
+// lineEdges connects 0-1-2-...-n-1.
+func lineEdges(n int) [][2]int {
+	var es [][2]int
+	for i := 0; i+1 < n; i++ {
+		es = append(es, [2]int{i, i + 1})
+	}
+	return es
+}
+
+func fname(kws ...keywords.Keyword) keywords.Filename { return keywords.NewFilename(kws...) }
+
+func runAll(net *Network) {
+	net.Engine.Run(0)
+}
+
+func TestFloodingFindsStorageHit(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Flooding{}, linePoints(5), lineEdges(5), cfg)
+	f := fname("needle", "in", "stack")
+	net.Node(4).AddFile(f)
+
+	net.SubmitQuery(0, keywords.NewQuery("needle"))
+	runAll(net)
+	net.FlushPending()
+
+	c := net.Collector
+	if c.Submitted() != 1 {
+		t.Fatalf("submitted = %d", c.Submitted())
+	}
+	if c.SuccessRate() != 1 {
+		t.Fatal("query should succeed over a 4-hop line within TTL 7")
+	}
+	recs := c.Records()
+	if recs[0].Hops != 4 {
+		t.Fatalf("hops = %d, want 4", recs[0].Hops)
+	}
+	// Line of 5: 4 query forwards + 4 response hops = 8 messages.
+	if recs[0].Messages != 8 {
+		t.Fatalf("messages = %d, want 8", recs[0].Messages)
+	}
+	// The requester became a provider (natural replication, §3.1).
+	if !net.Node(0).HasFile(f) {
+		t.Fatal("requester did not become a provider")
+	}
+}
+
+func TestFloodingTTLBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TTL = 3
+	net := testNet(t, Flooding{}, linePoints(6), lineEdges(6), cfg)
+	net.Node(5).AddFile(fname("far"))
+	net.SubmitQuery(0, keywords.NewQuery("far"))
+	runAll(net)
+	net.FlushPending()
+	if net.Collector.SuccessRate() != 0 {
+		t.Fatal("TTL 3 must not reach 5 hops away")
+	}
+	// Messages: exactly TTL forwards down the line.
+	if got := net.Collector.Records()[0].Messages; got != 3 {
+		t.Fatalf("messages = %d, want 3", got)
+	}
+}
+
+func TestFloodingDuplicateSuppression(t *testing.T) {
+	// Diamond: 0-1, 0-2, 1-3, 2-3. Node 3 receives the query twice but
+	// must process it once; total sends still counted.
+	cfg := DefaultConfig()
+	net := testNet(t, Flooding{}, []netmodel.Point{{X: 100, Y: 100}, {X: 200, Y: 50}, {X: 200, Y: 150}, {X: 300, Y: 100}},
+		[][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}}, cfg)
+	net.Node(3).AddFile(fname("dup"))
+	net.SubmitQuery(0, keywords.NewQuery("dup"))
+	runAll(net)
+	net.FlushPending()
+	recs := net.Collector.Records()
+	if !recs[0].Success {
+		t.Fatal("diamond search failed")
+	}
+	// 0→1, 0→2 (2 msgs); 1→3, 2→3 (2 msgs); node 3 answers once; response
+	// 2 hops. Second arrival at 3 is suppressed (no further traffic).
+	// Also 1→... and 2→... only have neighbor 3 beyond sender. Total = 4
+	// query + 2 response = 6.
+	if recs[0].Messages != 6 {
+		t.Fatalf("messages = %d, want 6", recs[0].Messages)
+	}
+}
+
+func TestLocalStorageHitIsFree(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Flooding{}, linePoints(3), lineEdges(3), cfg)
+	f := fname("mine")
+	net.Node(0).AddFile(f)
+	net.SubmitQuery(0, keywords.NewQuery("mine"))
+	runAll(net)
+	net.FlushPending()
+	rec := net.Collector.Records()[0]
+	if !rec.Success || rec.Messages != 0 || rec.DownloadRTT != 0 {
+		t.Fatalf("local hit: %+v", rec)
+	}
+}
+
+func TestQueryFailureRecorded(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Flooding{}, linePoints(3), lineEdges(3), cfg)
+	net.SubmitQuery(0, keywords.NewQuery("absent"))
+	runAll(net)
+	net.FlushPending()
+	rec := net.Collector.Records()[0]
+	if rec.Success {
+		t.Fatal("phantom success")
+	}
+	if rec.Messages != 2 {
+		t.Fatalf("messages = %d, want 2 (line flood)", rec.Messages)
+	}
+}
+
+func TestDicasCachingGidPlacement(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Dicas{}, linePoints(5), lineEdges(5), cfg)
+	f := fname("dicas", "file")
+	net.Node(4).AddFile(f)
+	want := gidOfName(f.String(), cfg.GroupCount)
+	// Arrange Gids: nodes 1 and 3 match, 2 does not.
+	net.Node(0).Gid = (want + 1) % cfg.GroupCount
+	net.Node(1).Gid = want
+	net.Node(2).Gid = (want + 1) % cfg.GroupCount
+	net.Node(3).Gid = want
+	net.Node(4).Gid = (want + 1) % cfg.GroupCount
+
+	// Full-filename query (Dicas's intended mode) so routing is correct.
+	net.SubmitQuery(0, keywords.NewQuery(f.Keywords()...))
+	runAll(net)
+	net.FlushPending()
+	if net.Collector.SuccessRate() != 1 {
+		t.Fatal("dicas full-filename query failed on a line")
+	}
+	now := net.Engine.Now()
+	if ps := net.Node(1).RI.Providers(f, now); len(ps) != 1 || ps[0].Peer != 4 {
+		t.Fatalf("node1 (matching gid) cache = %+v", ps)
+	}
+	if ps := net.Node(3).RI.Providers(f, now); len(ps) != 1 {
+		t.Fatalf("node3 (matching gid) cache = %+v", ps)
+	}
+	if ps := net.Node(2).RI.Providers(f, now); ps != nil {
+		t.Fatalf("node2 (non-matching gid) cached: %+v", ps)
+	}
+}
+
+func TestDicasSingleProviderPerFile(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Dicas{}, linePoints(3), lineEdges(3), cfg)
+	f := fname("single")
+	n1 := net.Node(1)
+	n1.Gid = gidOfName(f.String(), cfg.GroupCount)
+	rsp := &ResponseMsg{
+		File: f,
+		Providers: []cache.Provider{
+			{Peer: 2, LocID: 1}, {Peer: 0, LocID: 2},
+		},
+		Origin: 0,
+	}
+	Dicas{}.CacheResponse(net, n1, rsp)
+	ps := n1.RI.Providers(f, net.Engine.Now())
+	if len(ps) != 1 {
+		t.Fatalf("dicas cached %d providers, want 1", len(ps))
+	}
+}
+
+func TestDicasRoutingMisledByPartialQuery(t *testing.T) {
+	// gidOfQuery equals gidOfName only when the query carries all keywords.
+	f := fname("aaa", "bbb", "ccc")
+	m := 64 // large M to make accidental collisions unlikely
+	full := keywords.NewQuery(f.Keywords()...)
+	if gidOfQuery(full, m) != gidOfName(f.String(), m) {
+		t.Fatal("full-filename query must hash like the filename")
+	}
+	partial := keywords.NewQuery("aaa")
+	if gidOfQuery(partial, m) == gidOfName(f.String(), m) {
+		t.Fatal("partial query accidentally matches (improbable with M=64); mechanism broken")
+	}
+}
+
+func TestDicasKeysCachesPerQueryKeyword(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, DicasKeys{}, linePoints(4), lineEdges(4), cfg)
+	f := fname("kx", "ky", "kz")
+	q := keywords.NewQuery("kx", "ky")
+	n1, n2 := net.Node(1), net.Node(2)
+	n1.Gid = gidOfKeyword("kx", cfg.GroupCount)
+	// Give node2 a gid matching neither query keyword.
+	g2 := 0
+	for g2 == gidOfKeyword("kx", cfg.GroupCount) || g2 == gidOfKeyword("ky", cfg.GroupCount) {
+		g2++
+	}
+	n2.Gid = g2
+
+	rsp := &ResponseMsg{File: f, QueryKws: q, Providers: []cache.Provider{{Peer: 3, LocID: 0}}}
+	DicasKeys{}.CacheResponse(net, n1, rsp)
+	DicasKeys{}.CacheResponse(net, n2, rsp)
+	now := net.Engine.Now()
+	if n1.RI.Providers(f, now) == nil {
+		t.Fatal("keyword-group node did not cache")
+	}
+	if n2.RI.Providers(f, now) != nil {
+		t.Fatal("non-matching node cached")
+	}
+}
+
+func TestLocawareCachesProvidersAndRequester(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Locaware{}, linePoints(5), lineEdges(5), cfg)
+	f := fname("loc", "aware")
+	n2 := net.Node(2)
+	n2.Gid = gidOfName(f.String(), cfg.GroupCount)
+	rsp := &ResponseMsg{
+		File:      f,
+		Providers: []cache.Provider{{Peer: 4, LocID: 7}},
+		Origin:    0,
+		OriginLoc: 3,
+	}
+	Locaware{}.CacheResponse(net, n2, rsp)
+	ps := n2.RI.Providers(f, net.Engine.Now())
+	if len(ps) != 2 {
+		t.Fatalf("cached %d providers, want provider+requester: %+v", len(ps), ps)
+	}
+	foundOrigin := false
+	for _, p := range ps {
+		if p.Peer == 0 && p.LocID == 3 {
+			foundOrigin = true
+		}
+	}
+	if !foundOrigin {
+		t.Fatal("requester not cached as new provider (§4.1.2)")
+	}
+}
+
+func TestLocawareOnAnswerAddsRequester(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Locaware{}, linePoints(3), lineEdges(3), cfg)
+	f := fname("ans")
+	n1 := net.Node(1)
+	n1.Gid = gidOfName(f.String(), cfg.GroupCount)
+	q := &QueryMsg{Origin: 2, OriginLoc: 9, Q: keywords.NewQuery("ans")}
+	Locaware{}.OnAnswer(net, n1, q, f)
+	ps := n1.RI.Providers(f, net.Engine.Now())
+	if len(ps) != 1 || ps[0].Peer != 2 || ps[0].LocID != 9 {
+		t.Fatalf("OnAnswer cache = %+v", ps)
+	}
+	// Non-matching gid: no insertion.
+	n0 := net.Node(0)
+	n0.Gid = (n1.Gid + 1) % cfg.GroupCount
+	Locaware{}.OnAnswer(net, n0, q, f)
+	if n0.RI.Providers(f, net.Engine.Now()) != nil {
+		t.Fatal("non-matching gid node cached on answer")
+	}
+}
+
+func TestLocawareSelectProviderPrefersLocality(t *testing.T) {
+	cfg := DefaultConfig()
+	// Requester at origin corner; two providers: same locId far away in
+	// list, different locId first.
+	pts := []netmodel.Point{{X: 50, Y: 50}, {X: 900, Y: 900}, {X: 60, Y: 60}}
+	net := testNet(t, Locaware{}, pts, [][2]int{{0, 1}, {1, 2}}, cfg)
+	req := net.Node(0)
+	provs := []cache.Provider{
+		{Peer: 1, LocID: req.Loc + 1},
+		{Peer: 2, LocID: req.Loc},
+	}
+	got, ok := Locaware{}.SelectProvider(net, req, provs)
+	if !ok || got.Peer != 2 {
+		t.Fatalf("locality preference failed: %+v", got)
+	}
+}
+
+func TestLocawareSelectProviderMinRTTFallback(t *testing.T) {
+	cfg := DefaultConfig()
+	pts := []netmodel.Point{{X: 50, Y: 50}, {X: 900, Y: 900}, {X: 100, Y: 100}}
+	net := testNet(t, Locaware{}, pts, [][2]int{{0, 1}, {1, 2}}, cfg)
+	req := net.Node(0)
+	// Neither provider shares the requester's locId; peer 2 is closer.
+	provs := []cache.Provider{
+		{Peer: 1, LocID: req.Loc + 1},
+		{Peer: 2, LocID: req.Loc + 2},
+	}
+	got, ok := Locaware{}.SelectProvider(net, req, provs)
+	if !ok || got.Peer != 2 {
+		t.Fatalf("min-RTT fallback failed: got peer %d", got.Peer)
+	}
+	if _, ok := (Locaware{}).SelectProvider(net, req, nil); ok {
+		t.Fatal("empty provider list should fail")
+	}
+}
+
+func TestBloomGossipAndRouting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BloomGossipPeriod = 5 * sim.Second
+	net := testNet(t, Locaware{}, linePoints(4), lineEdges(4), cfg)
+	f := fname("bloomy", "file")
+	n2 := net.Node(2)
+	n2.Gid = gidOfName(f.String(), cfg.GroupCount)
+	n2.RI.Put(f, 3, 0, 0)
+
+	// Before gossip, node 2's published BF is empty -> no match.
+	q := &QueryMsg{Origin: 0, Q: keywords.NewQuery("bloomy"), TTL: 7, Path: []overlay.PeerID{0, 1}}
+	n1 := net.Node(1)
+	targets := Locaware{}.Forward(net, n1, q, 0)
+	for _, tgt := range targets {
+		if tgt == 2 {
+			if bf := n2.PublishedBloom(); bf.TestAll([]string{"bloomy"}) {
+				t.Fatal("published BF should be empty before gossip")
+			}
+		}
+	}
+	// Run past one gossip period; now BF matches and routing prefers 2.
+	net.Engine.RunUntil(6*sim.Second, 0)
+	targets = Locaware{}.Forward(net, n1, q, 0)
+	if len(targets) != 1 || targets[0] != 2 {
+		t.Fatalf("BF routing targets = %v, want [2]", targets)
+	}
+	if net.ControlMessages() == 0 {
+		t.Fatal("gossip produced no control messages")
+	}
+	if net.ControlBits() == 0 {
+		t.Fatal("gossip accounted no delta bits")
+	}
+}
+
+func TestLocawareEndToEndCacheHit(t *testing.T) {
+	// First query populates caches, second query (from a different peer)
+	// must hit a cached index before reaching storage.
+	cfg := DefaultConfig()
+	cfg.BloomGossipPeriod = time1s()
+	net := testNet(t, Locaware{}, linePoints(6), lineEdges(6), cfg)
+	f := fname("pop", "song")
+	net.Node(5).AddFile(f)
+	// Make middle nodes cache-eligible.
+	want := gidOfName(f.String(), cfg.GroupCount)
+	for i := overlay.PeerID(1); i <= 4; i++ {
+		net.Node(i).Gid = want
+	}
+	net.SubmitQuery(0, keywords.NewQuery("pop"))
+	net.Engine.RunUntil(40*sim.Second, 0)
+	// Caches along the path now hold f with providers {5, 0}.
+	cached := 0
+	for i := overlay.PeerID(1); i <= 4; i++ {
+		if net.Node(i).RI.Providers(f, net.Engine.Now()) != nil {
+			cached++
+		}
+	}
+	if cached == 0 {
+		t.Fatal("no reverse-path node cached the response")
+	}
+	before := net.Collector.Submitted()
+	_ = before
+	net.SubmitQuery(1, keywords.NewQuery("song"))
+	net.Engine.RunUntil(80*sim.Second, 0)
+	net.FlushPending()
+	recs := net.Collector.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if !recs[1].Success {
+		t.Fatal("second query failed despite cached indexes")
+	}
+	if recs[1].Messages >= recs[0].Messages+3 {
+		t.Fatalf("cached query not cheaper: first=%d second=%d", recs[0].Messages, recs[1].Messages)
+	}
+}
+
+func time1s() sim.Time { return sim.Second }
+
+func TestChurnOfflineProvidersFiltered(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Locaware{}, linePoints(4), lineEdges(4), cfg)
+	req := net.Node(0)
+	provs := []cache.Provider{{Peer: 3, LocID: req.Loc}}
+	net.Graph.Leave(3)
+	if live := net.liveProviders(provs); len(live) != 0 {
+		t.Fatal("offline provider not filtered")
+	}
+	if _, ok := (Locaware{}).SelectProvider(net, req, net.liveProviders(provs)); ok {
+		t.Fatal("selection should fail with all providers offline")
+	}
+}
+
+func TestOfflineOriginDropsQuery(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Flooding{}, linePoints(3), lineEdges(3), cfg)
+	net.Graph.Leave(0)
+	net.SubmitQuery(0, keywords.NewQuery("x"))
+	runAll(net)
+	net.FlushPending()
+	rec := net.Collector.Records()[0]
+	if rec.Success || rec.Messages != 0 {
+		t.Fatalf("offline origin should produce a dead query: %+v", rec)
+	}
+}
+
+func TestFinalizeSealsRecordOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FinalizeAfter = 5 * sim.Second
+	net := testNet(t, Flooding{}, linePoints(3), lineEdges(3), cfg)
+	net.Node(2).AddFile(fname("seal"))
+	id := net.SubmitQuery(0, keywords.NewQuery("seal"))
+	runAll(net)
+	if net.Collector.Submitted() != 1 {
+		t.Fatalf("submitted = %d", net.Collector.Submitted())
+	}
+	net.finalize(id) // idempotent
+	net.FlushPending()
+	if net.Collector.Submitted() != 1 {
+		t.Fatal("double finalisation")
+	}
+}
+
+func TestHighestDegreeNeighborFallback(t *testing.T) {
+	// Star: 1 is the hub (degree 3); from node 0, fallback must pick 1.
+	cfg := DefaultConfig()
+	pts := []netmodel.Point{{X: 100, Y: 100}, {X: 200, Y: 100}, {X: 300, Y: 100}, {X: 200, Y: 200}, {X: 50, Y: 50}}
+	edges := [][2]int{{0, 1}, {1, 2}, {1, 3}, {0, 4}}
+	net := testNet(t, Dicas{}, pts, edges, cfg)
+	n0 := net.Node(0)
+	q := &QueryMsg{Origin: 0, Q: keywords.NewQuery("zzz"), TTL: 7, Path: []overlay.PeerID{0}}
+	nb, ok := net.highestDegreeNeighbor(n0, q, -1)
+	if !ok || nb != 1 {
+		t.Fatalf("fallback = %d,%v, want 1", nb, ok)
+	}
+	// Exclude the hub via path; falls to 4.
+	q2 := &QueryMsg{Origin: 0, Q: keywords.NewQuery("zzz"), TTL: 7, Path: []overlay.PeerID{0, 1}}
+	nb, ok = net.highestDegreeNeighbor(n0, q2, -1)
+	if !ok || nb != 4 {
+		t.Fatalf("fallback with exclusion = %d,%v, want 4", nb, ok)
+	}
+}
+
+func TestOrderProvidersForOrigin(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Locaware{}, linePoints(2), lineEdges(2), cfg)
+	ps := []cache.Provider{
+		{Peer: 1, LocID: 5},
+		{Peer: 2, LocID: 3},
+		{Peer: 3, LocID: 5},
+		{Peer: 4, LocID: 1},
+	}
+	got := net.orderProvidersForOrigin(ps, 5)
+	if got[0].LocID != 5 || got[1].LocID != 5 {
+		t.Fatalf("locality entries not first: %+v", got)
+	}
+	if len(got) != 4 {
+		t.Fatalf("providers lost: %d", len(got))
+	}
+}
+
+func TestSelectIndexMatchPrefersOriginLocality(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Locaware{}, linePoints(2), lineEdges(2), cfg)
+	q := &QueryMsg{OriginLoc: 7}
+	ms := []cache.Match{
+		{File: fname("many"), Providers: []cache.Provider{{Peer: 1, LocID: 1}, {Peer: 2, LocID: 2}, {Peer: 3, LocID: 3}}},
+		{File: fname("right"), Providers: []cache.Provider{{Peer: 4, LocID: 7}}},
+	}
+	got := net.selectIndexMatch(ms, q)
+	if got.File.String() != "right" {
+		t.Fatalf("selected %q, want locality match", got.File.String())
+	}
+}
+
+func TestBehaviorNamesAndBloomFlags(t *testing.T) {
+	cases := []struct {
+		b     Behavior
+		name  string
+		bloom bool
+	}{
+		{Flooding{}, "Flooding", false},
+		{Dicas{}, "Dicas", false},
+		{DicasKeys{}, "Dicas-Keys", false},
+		{Locaware{}, "Locaware", true},
+		{LocawareLR{}, "Locaware-LR", true},
+	}
+	for _, c := range cases {
+		if c.b.Name() != c.name {
+			t.Errorf("Name = %q, want %q", c.b.Name(), c.name)
+		}
+		if c.b.UsesBloom() != c.bloom {
+			t.Errorf("%s UsesBloom = %v", c.name, c.b.UsesBloom())
+		}
+	}
+}
+
+func TestCacheConfigAdaptation(t *testing.T) {
+	base := cache.DefaultConfig()
+	if got := (Dicas{}).CacheConfig(base); got.MaxProvidersPerFile != 1 {
+		t.Fatal("dicas should keep one provider per file")
+	}
+	if got := (DicasKeys{}).CacheConfig(base); got.MaxProvidersPerFile != 1 {
+		t.Fatal("dicas-keys should keep one provider per file")
+	}
+	if got := (Locaware{}).CacheConfig(base); got.MaxProvidersPerFile != base.MaxProvidersPerFile {
+		t.Fatal("locaware should keep multi-provider bound")
+	}
+	if got := (Flooding{}).CacheConfig(base); got.MaxFilenames != 1 {
+		t.Fatal("flooding cache should be degenerate")
+	}
+}
+
+func TestLocawareLRPrefersSameLocality(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BloomGossipPeriod = sim.Second
+	// Peers 1 and 2 both neighbours of 0; 2 shares origin's locality.
+	pts := []netmodel.Point{{X: 50, Y: 50}, {X: 900, Y: 900}, {X: 60, Y: 60}}
+	net := testNet(t, LocawareLR{}, pts, [][2]int{{0, 1}, {0, 2}}, cfg)
+	f := fname("lr", "test")
+	for _, i := range []overlay.PeerID{1, 2} {
+		n := net.Node(i)
+		n.Gid = gidOfName(f.String(), cfg.GroupCount)
+		n.RI.Put(f, overlay.PeerID(i), n.Loc, 0)
+	}
+	net.Engine.RunUntil(2*sim.Second, 0) // publish blooms
+	q := &QueryMsg{Origin: 0, OriginLoc: net.Node(0).Loc, Q: keywords.NewQuery("lr"), TTL: 7, Path: []overlay.PeerID{0}}
+	targets := LocawareLR{}.Forward(net, net.Node(0), q, 0)
+	if len(targets) != 1 || targets[0] != 2 {
+		t.Fatalf("LR targets = %v, want same-locality [2]", targets)
+	}
+}
+
+func TestGidHelpers(t *testing.T) {
+	m := 8
+	f := fname("k1", "k2", "k3")
+	g := gidOfName(f.String(), m)
+	if g < 0 || g >= m {
+		t.Fatalf("gid %d out of range", g)
+	}
+	if gidOfName(f.String(), m) != g {
+		t.Fatal("gid not deterministic")
+	}
+	if gidOfKeyword("k1", m) < 0 || gidOfKeyword("k1", m) >= m {
+		t.Fatal("keyword gid out of range")
+	}
+}
+
+func TestNetworkStringAndAccessors(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Locaware{}, linePoints(3), lineEdges(3), cfg)
+	if net.String() == "" {
+		t.Fatal("empty String")
+	}
+	if len(net.Nodes()) != 3 {
+		t.Fatal("Nodes accessor broken")
+	}
+	if net.Node(1).ID != 1 {
+		t.Fatal("Node accessor broken")
+	}
+	if net.Node(0).NumFiles() != 0 {
+		t.Fatal("fresh node has files")
+	}
+}
+
+func TestTracingLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	net := testNet(t, Flooding{}, linePoints(4), lineEdges(4), cfg)
+	buf := trace.NewBuffer(1000)
+	net.Tracer = buf
+	f := fname("traced", "file")
+	net.Node(3).AddFile(f)
+	net.SubmitQuery(0, keywords.NewQuery("traced"))
+	runAll(net)
+	net.FlushPending()
+
+	if buf.CountKind(trace.QuerySubmit) != 1 {
+		t.Fatalf("submits = %d", buf.CountKind(trace.QuerySubmit))
+	}
+	if buf.CountKind(trace.QueryForward) != 3 {
+		t.Fatalf("forwards = %d, want 3 (line)", buf.CountKind(trace.QueryForward))
+	}
+	if buf.CountKind(trace.StorageHit) != 1 {
+		t.Fatalf("storage hits = %d", buf.CountKind(trace.StorageHit))
+	}
+	if buf.CountKind(trace.ResponseHop) != 3 {
+		t.Fatalf("response hops = %d", buf.CountKind(trace.ResponseHop))
+	}
+	if buf.CountKind(trace.DownloadComplete) != 1 {
+		t.Fatalf("downloads = %d", buf.CountKind(trace.DownloadComplete))
+	}
+	if buf.CountKind(trace.QueryFailed) != 0 {
+		t.Fatal("successful query traced as failed")
+	}
+	// Events for query 1 are a coherent story in time order.
+	evs := buf.ForQuery(1)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("trace not in time order")
+		}
+	}
+}
+
+func TestTracingFailureAndDuplicate(t *testing.T) {
+	cfg := DefaultConfig()
+	// Diamond so node 3 sees a duplicate.
+	net := testNet(t, Flooding{}, []netmodel.Point{{X: 100, Y: 100}, {X: 200, Y: 50}, {X: 200, Y: 150}, {X: 300, Y: 100}},
+		[][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}}, cfg)
+	buf := trace.NewBuffer(1000)
+	net.Tracer = buf
+	net.SubmitQuery(0, keywords.NewQuery("absent"))
+	runAll(net)
+	net.FlushPending()
+	if buf.CountKind(trace.QueryFailed) != 1 {
+		t.Fatalf("failed = %d", buf.CountKind(trace.QueryFailed))
+	}
+	if buf.CountKind(trace.QueryDuplicate) == 0 {
+		t.Fatal("diamond should produce a duplicate delivery")
+	}
+}
+
+func TestTracingGossip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BloomGossipPeriod = 2 * sim.Second
+	net := testNet(t, Locaware{}, linePoints(3), lineEdges(3), cfg)
+	buf := trace.NewBuffer(1000)
+	net.Tracer = buf
+	f := fname("gossiped")
+	n1 := net.Node(1)
+	n1.Gid = gidOfName(f.String(), cfg.GroupCount)
+	n1.RI.Put(f, 2, 0, 0)
+	net.Engine.RunUntil(3*sim.Second, 0)
+	if buf.CountKind(trace.BloomGossip) == 0 {
+		t.Fatal("no gossip events traced")
+	}
+	// Neighbour copies installed after delivery.
+	if net.Node(0).NeighborBloom(1) == nil {
+		t.Fatal("neighbour BF copy not installed")
+	}
+	if net.Node(0).NeighborBloom(2) != nil {
+		t.Fatal("non-neighbour BF copy installed")
+	}
+}
+
+func TestResetCollectorIsolatesInFlightQueries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FinalizeAfter = 10 * sim.Second
+	net := testNet(t, Flooding{}, linePoints(4), lineEdges(4), cfg)
+	net.Node(3).AddFile(fname("late"))
+	net.SubmitQuery(0, keywords.NewQuery("late"))
+	// Swap collectors while the query is still in flight.
+	old := net.ResetCollector()
+	runAll(net)
+	net.FlushPending()
+	if old.Submitted() != 1 {
+		t.Fatalf("in-flight query leaked out of its collector: old=%d", old.Submitted())
+	}
+	if net.Collector.Submitted() != 0 {
+		t.Fatalf("new collector contaminated: %d", net.Collector.Submitted())
+	}
+}
+
+func TestFallbackFanoutRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FallbackFanout = 3
+	// Star: node 0 has 4 neighbours, none matching any predicate for an
+	// absent keyword, so fallback fires.
+	pts := []netmodel.Point{{X: 100, Y: 100}, {X: 200, Y: 100}, {X: 150, Y: 200}, {X: 50, Y: 200}, {X: 100, Y: 20}}
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}
+	net := testNet(t, Dicas{}, pts, edges, cfg)
+	// Force all neighbours to a non-matching Gid.
+	q := &QueryMsg{Origin: 0, Q: keywords.NewQuery("zzz"), TTL: 7, Path: []overlay.PeerID{0}}
+	want := gidOfQuery(q.Q, cfg.GroupCount)
+	for i := 1; i <= 4; i++ {
+		net.Node(overlay.PeerID(i)).Gid = (want + 1) % cfg.GroupCount
+	}
+	targets := Dicas{}.Forward(net, net.Node(0), q, -1)
+	if len(targets) != 3 {
+		t.Fatalf("fallback fanout produced %d targets, want 3", len(targets))
+	}
+	seen := map[overlay.PeerID]bool{}
+	for _, tg := range targets {
+		if seen[tg] {
+			t.Fatal("duplicate fallback target")
+		}
+		seen[tg] = true
+	}
+}
+
+func TestDicasKeysRoutingKeyword(t *testing.T) {
+	q := keywords.NewQuery("zeta", "alpha")
+	if routingKeyword(q) != "alpha" {
+		t.Fatalf("routing keyword = %q, want canonical first", routingKeyword(q))
+	}
+	if routingKeyword(keywords.Query{}) != "" {
+		t.Fatal("empty query routing keyword should be empty")
+	}
+}
+
+func TestConfigFallbacks(t *testing.T) {
+	eng := sim.NewEngine()
+	pts := linePoints(2)
+	model := netmodel.NewModel(pts, 1000, netmodel.LatencyConfig{MinRTT: 10, MaxRTT: 500}, 0)
+	lm := netmodel.FixedLandmarks([]netmodel.Point{{X: 0, Y: 0}, {X: 1000, Y: 1000}})
+	loc := netmodel.NewLocator(model, lm)
+	g := overlay.NewGraph(2)
+	_ = g.AddLink(0, 1)
+	net := NewNetwork(eng, g, model, loc, Flooding{}, Config{}, rand.New(rand.NewSource(1)), rand.New(rand.NewSource(2)))
+	if net.Config.TTL != 7 || net.Config.GroupCount != 4 {
+		t.Fatalf("fallbacks not applied: %+v", net.Config)
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+// Control is a periodic callback, analogous to PeerSim's Control components
+// (observers, dynamics injectors) that run every cycle. Returning false
+// stops the rescheduling.
+type Control func(e *Engine) bool
+
+// Every schedules c to run every period, starting one period from now.
+// It returns a Timer for the next pending occurrence; cancelling it stops
+// the series.
+func (e *Engine) Every(period Time, c Control) *Timer {
+	if period <= 0 {
+		panic("sim: non-positive control period")
+	}
+	outer := &Timer{}
+	var fire Handler
+	fire = func(eng *Engine) {
+		if !c(eng) {
+			return
+		}
+		t, err := eng.Schedule(period, fire)
+		if err == nil {
+			outer.ev = t.ev
+		}
+	}
+	t := e.MustSchedule(period, fire)
+	outer.ev = t.ev
+	return outer
+}
+
+// After is a readability helper: run h once after delay, panicking on an
+// invalid delay (only possible with a negative value).
+func (e *Engine) After(delay Time, h Handler) *Timer {
+	return e.MustSchedule(delay, h)
+}

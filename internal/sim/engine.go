@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"errors"
+	"math"
+)
+
+// Engine is a single-threaded discrete-event simulator. All scheduling and
+// event delivery happen on the goroutine that calls Run; protocol code never
+// needs locks. This mirrors PeerSim's event-driven engine, which the paper's
+// evaluation is built on.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// processed counts delivered (non-cancelled) events.
+	processed uint64
+	// scheduled counts all Schedule calls, including later-cancelled ones.
+	scheduled uint64
+	// horizon, when non-zero, rejects events scheduled beyond it.
+	horizon Time
+}
+
+// ErrPast is returned when an event is scheduled before the current virtual
+// time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Len returns the number of events currently queued, including cancelled
+// events that have not yet been discarded.
+func (e *Engine) Len() int { return e.queue.Len() }
+
+// Processed returns the number of events delivered so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Scheduled returns the number of events scheduled so far.
+func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
+// SetHorizon rejects (silently drops) any event scheduled after t. A zero
+// horizon disables the limit. It is used to keep long-tailed retransmission
+// chains from extending a bounded experiment.
+func (e *Engine) SetHorizon(t Time) { e.horizon = t }
+
+// Schedule queues h to run after delay. A negative delay is an error; a zero
+// delay runs h at the current instant, after all events already queued for
+// that instant.
+func (e *Engine) Schedule(delay Time, h Handler) (*Timer, error) {
+	if delay < 0 {
+		return nil, ErrPast
+	}
+	return e.ScheduleAt(e.now+delay, h)
+}
+
+// ScheduleAt queues h to run at absolute virtual time at.
+func (e *Engine) ScheduleAt(at Time, h Handler) (*Timer, error) {
+	if at < e.now {
+		return nil, ErrPast
+	}
+	if e.horizon > 0 && at > e.horizon {
+		// Dropped by horizon policy: return a dead timer, not an error, so
+		// callers near the end of a run need no special casing.
+		return &Timer{ev: &event{dead: true}}, nil
+	}
+	ev := &event{at: at, seq: e.seq, handler: h}
+	e.seq++
+	e.scheduled++
+	e.queue.push(ev)
+	return &Timer{ev: ev}, nil
+}
+
+// MustSchedule is Schedule for callers with a known-valid delay; it panics on
+// error. Protocol code uses it with delays derived from the latency model,
+// which are always non-negative.
+func (e *Engine) MustSchedule(delay Time, h Handler) *Timer {
+	t, err := e.Schedule(delay, h)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue drains, Stop is called, or maxEvents
+// events have been delivered (0 means no limit). It returns the number of
+// events delivered during this call.
+func (e *Engine) Run(maxEvents uint64) uint64 {
+	return e.RunUntil(Time(math.MaxInt64), maxEvents)
+}
+
+// RunUntil processes events with timestamps <= deadline, subject to the same
+// stopping conditions as Run. The clock is left at the timestamp of the last
+// delivered event (or at deadline if the next event lies beyond it and at
+// least one event was inspected).
+func (e *Engine) RunUntil(deadline Time, maxEvents uint64) uint64 {
+	e.stopped = false
+	var delivered uint64
+	for !e.stopped {
+		if maxEvents > 0 && delivered >= maxEvents {
+			break
+		}
+		next := e.queue.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			if deadline > e.now && deadline != Time(math.MaxInt64) {
+				e.now = deadline
+			}
+			break
+		}
+		e.queue.pop()
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.dead = true
+		next.handler(e)
+		e.processed++
+		delivered++
+	}
+	return delivered
+}
+
+// Drain discards all pending events without running them.
+func (e *Engine) Drain() {
+	for e.queue.pop() != nil {
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleRun measures raw event throughput: schedule+deliver of
+// chained events, the simulator's innermost loop.
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine()
+	remaining := b.N
+	var step Handler
+	step = func(eng *Engine) {
+		if remaining > 0 {
+			remaining--
+			eng.MustSchedule(Millisecond, step)
+		}
+	}
+	e.MustSchedule(Millisecond, step)
+	b.ResetTimer()
+	e.Run(0)
+}
+
+// BenchmarkQueueMixed measures heap behaviour under a realistic mixed
+// horizon: many timers at staggered deadlines.
+func BenchmarkQueueMixed(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MustSchedule(Time(i%1000)*Millisecond, func(*Engine) {})
+		if i%1000 == 999 {
+			e.Run(0)
+		}
+	}
+	e.Run(0)
+}
+
+// BenchmarkTimerCancel measures schedule+cancel churn (retransmission
+// timers that usually do not fire).
+func BenchmarkTimerCancel(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		t := e.MustSchedule(Second, func(*Engine) {})
+		t.Cancel()
+		if i%4096 == 4095 {
+			e.Drain()
+		}
+	}
+}
+
+// BenchmarkRNGStream measures substream derivation cost.
+func BenchmarkRNGStream(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.StreamN("peer", i&1023)
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+// eventQueue is a binary min-heap over (at, seq). It is hand-rolled rather
+// than built on container/heap to avoid per-operation interface allocations
+// in the simulator's hot path.
+type eventQueue struct {
+	items []*event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+// push inserts ev into the heap.
+func (q *eventQueue) push(ev *event) {
+	ev.index = len(q.items)
+	q.items = append(q.items, ev)
+	q.up(ev.index)
+}
+
+// pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *eventQueue) pop() *event {
+	n := len(q.items)
+	if n == 0 {
+		return nil
+	}
+	top := q.items[0]
+	q.swap(0, n-1)
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+// peek returns the earliest event without removing it.
+func (q *eventQueue) peek() *event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is a named sequence of (x, y) points, the unit the figure
+// regeneration harness prints (one Series per curve in a paper figure).
+type Series struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Xs) }
+
+// LastY returns the final y value (0 if empty).
+func (s *Series) LastY() float64 {
+	if len(s.Ys) == 0 {
+		return 0
+	}
+	return s.Ys[len(s.Ys)-1]
+}
+
+// MeanY returns the mean of the y values.
+func (s *Series) MeanY() float64 { return Mean(s.Ys) }
+
+// Table renders a set of series sharing the same x grid as an aligned
+// text table with the given x-column header. Series with mismatched grids
+// are rendered with blank cells.
+func Table(xHeader string, series []*Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	// Collect the union x grid, preserving first-seen order.
+	var grid []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.Xs {
+			if !seen[x] {
+				seen[x] = true
+				grid = append(grid, x)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", xHeader)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range grid {
+		fmt.Fprintf(&b, "%-12.0f", x)
+		for _, s := range series {
+			y, ok := lookupY(s, x)
+			if ok {
+				fmt.Fprintf(&b, " %14.3f", y)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the series set as comma-separated values with an x column.
+func CSV(xHeader string, series []*Series) string {
+	var b strings.Builder
+	b.WriteString(xHeader)
+	for _, s := range series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	var grid []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.Xs {
+			if !seen[x] {
+				seen[x] = true
+				grid = append(grid, x)
+			}
+		}
+	}
+	for _, x := range grid {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range series {
+			y, ok := lookupY(s, x)
+			if ok {
+				fmt.Fprintf(&b, ",%g", y)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookupY(s *Series, x float64) (float64, bool) {
+	for i, sx := range s.Xs {
+		if sx == x {
+			return s.Ys[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almost(s.Mean, 5) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev-2.13809) > 1e-4 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	ci := s.CI95()
+	if ci <= 0 || ci > s.StdDev {
+		t.Fatalf("ci = %v", ci)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if !almost(Percentile(xs, 0), 15) || !almost(Percentile(xs, 100), 50) {
+		t.Fatal("extremes wrong")
+	}
+	if !almost(Percentile(xs, 50), 35) {
+		t.Fatalf("median = %v", Percentile(xs, 50))
+	}
+	if !almost(Median(xs), 35) {
+		t.Fatal("Median disagrees")
+	}
+	// Interpolation: 25th of [10,20] = 12.5.
+	if !almost(Percentile([]float64{10, 20}, 25), 12.5) {
+		t.Fatalf("interp = %v", Percentile([]float64{10, 20}, 25))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	if !almost(Percentile([]float64{7}, 90), 7) {
+		t.Fatal("single percentile")
+	}
+	// Clamping.
+	if !almost(Percentile(xs, -5), 15) || !almost(Percentile(xs, 150), 50) {
+		t.Fatal("clamp failed")
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentileQuickMonotone(t *testing.T) {
+	prop := func(raw []float64, pa, pb uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a, b := float64(pa%101), float64(pb%101)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ma := MovingAverage(xs, 3)
+	if len(ma) != 6 {
+		t.Fatalf("len = %d", len(ma))
+	}
+	if !almost(ma[0], 1) || !almost(ma[1], 1.5) || !almost(ma[2], 2) {
+		t.Fatalf("warmup = %v", ma[:3])
+	}
+	if !almost(ma[5], 5) { // (4+5+6)/3
+		t.Fatalf("ma[5] = %v", ma[5])
+	}
+	cp := MovingAverage(xs, 1)
+	if !almost(cp[3], 4) {
+		t.Fatal("window=1 should copy")
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if !almost(RelativeChange(100, 86), -0.14) {
+		t.Fatalf("got %v", RelativeChange(100, 86))
+	}
+	if RelativeChange(0, 5) != 0 {
+		t.Fatal("zero denominator not guarded")
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Name: "locaware"}
+	if s.LastY() != 0 || s.Len() != 0 {
+		t.Fatal("empty series accessors")
+	}
+	s.Add(100, 1.5)
+	s.Add(200, 2.5)
+	if s.Len() != 2 || !almost(s.LastY(), 2.5) || !almost(s.MeanY(), 2) {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestTableAndCSV(t *testing.T) {
+	a := &Series{Name: "flooding"}
+	b := &Series{Name: "locaware"}
+	for _, x := range []float64{100, 200, 300} {
+		a.Add(x, x/10)
+		b.Add(x, x/20)
+	}
+	tbl := Table("queries", []*Series{a, b})
+	if !strings.Contains(tbl, "flooding") || !strings.Contains(tbl, "locaware") {
+		t.Fatalf("table missing headers:\n%s", tbl)
+	}
+	if !strings.Contains(tbl, "100") || !strings.Contains(tbl, "10.000") {
+		t.Fatalf("table missing data:\n%s", tbl)
+	}
+	csv := CSV("queries", []*Series{a, b})
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != "queries,flooding,locaware" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "100,10,5" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestTableMismatchedGrids(t *testing.T) {
+	a := &Series{Name: "a"}
+	a.Add(100, 1)
+	b := &Series{Name: "b"}
+	b.Add(200, 2)
+	tbl := Table("x", []*Series{a, b})
+	if !strings.Contains(tbl, "-") {
+		t.Fatalf("missing blank cell marker:\n%s", tbl)
+	}
+	if Table("x", nil) != "" {
+		t.Fatal("empty input should render empty")
+	}
+}

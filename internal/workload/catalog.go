@@ -1,0 +1,87 @@
+// Package workload generates the Locaware evaluation workload (§5.1): a
+// catalogue of 3000 files whose names are 3 keywords from a 9000-keyword
+// pool, an initial placement of 3 files per peer, Zipf-distributed query
+// popularity, and Poisson query arrivals at 0.00083 queries per second per
+// peer, each query expressed with 1–3 keywords of the target filename.
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/p2prepro/locaware/internal/keywords"
+)
+
+// FileID indexes a file in the catalogue. The catalogue is ordered by
+// popularity rank: FileID 0 is the most queried file.
+type FileID int
+
+// Catalog is the universe of shared files.
+type Catalog struct {
+	pool  *keywords.Pool
+	files []keywords.Filename
+	// byName maps canonical filename strings back to ids.
+	byName map[string]FileID
+}
+
+// CatalogConfig sizes the catalogue.
+type CatalogConfig struct {
+	NumFiles        int // paper: 3000
+	KeywordPool     int // paper: 9000
+	KeywordsPerFile int // paper: 3
+}
+
+// DefaultCatalog matches §5.1.
+func DefaultCatalog() CatalogConfig {
+	return CatalogConfig{NumFiles: 3000, KeywordPool: 9000, KeywordsPerFile: 3}
+}
+
+// NewCatalog generates a catalogue; filenames are drawn with r and
+// guaranteed unique.
+func NewCatalog(cfg CatalogConfig, r *rand.Rand) *Catalog {
+	if cfg.NumFiles <= 0 {
+		cfg = DefaultCatalog()
+	}
+	pool := keywords.NewPool(cfg.KeywordPool)
+	c := &Catalog{
+		pool:   pool,
+		files:  make([]keywords.Filename, 0, cfg.NumFiles),
+		byName: make(map[string]FileID, cfg.NumFiles),
+	}
+	for len(c.files) < cfg.NumFiles {
+		f := pool.RandomFilename(cfg.KeywordsPerFile, r)
+		name := f.String()
+		if _, dup := c.byName[name]; dup {
+			continue
+		}
+		c.byName[name] = FileID(len(c.files))
+		c.files = append(c.files, f)
+	}
+	return c
+}
+
+// Size returns the number of files.
+func (c *Catalog) Size() int { return len(c.files) }
+
+// File returns the filename of id.
+func (c *Catalog) File(id FileID) keywords.Filename { return c.files[id] }
+
+// Lookup resolves a canonical filename string to its id.
+func (c *Catalog) Lookup(name string) (FileID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// MatchingFiles returns the ids of all files whose names satisfy q. The
+// evaluation uses it to decide ground-truth query satisfiability.
+func (c *Catalog) MatchingFiles(q keywords.Query) []FileID {
+	var out []FileID
+	for id, f := range c.files {
+		if f.Matches(q) {
+			out = append(out, FileID(id))
+		}
+	}
+	return out
+}
+
+// Pool exposes the keyword pool behind the catalogue.
+func (c *Catalog) Pool() *keywords.Pool { return c.pool }

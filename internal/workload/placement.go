@@ -1,0 +1,54 @@
+package workload
+
+import "math/rand"
+
+// Placement records which peers initially share which files ("each peer
+// initially shares 3 files, randomly chosen from a pool of 3000", §5.1).
+type Placement struct {
+	// shared[p] lists the FileIDs peer p starts with.
+	shared [][]FileID
+}
+
+// NewPlacement assigns filesPerPeer random distinct files to each of n
+// peers.
+func NewPlacement(n, filesPerPeer int, cat *Catalog, r *rand.Rand) *Placement {
+	if filesPerPeer > cat.Size() {
+		filesPerPeer = cat.Size()
+	}
+	p := &Placement{shared: make([][]FileID, n)}
+	for i := 0; i < n; i++ {
+		seen := make(map[FileID]bool, filesPerPeer)
+		files := make([]FileID, 0, filesPerPeer)
+		for len(files) < filesPerPeer {
+			id := FileID(r.Intn(cat.Size()))
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			files = append(files, id)
+		}
+		p.shared[i] = files
+	}
+	return p
+}
+
+// Files returns the initial file set of peer p.
+func (pl *Placement) Files(p int) []FileID {
+	out := make([]FileID, len(pl.shared[p]))
+	copy(out, pl.shared[p])
+	return out
+}
+
+// N returns the number of peers in the placement.
+func (pl *Placement) N() int { return len(pl.shared) }
+
+// Providers returns, for each file, the peers that initially share it.
+func (pl *Placement) Providers() map[FileID][]int {
+	m := make(map[FileID][]int)
+	for p, files := range pl.shared {
+		for _, f := range files {
+			m[f] = append(m[f], p)
+		}
+	}
+	return m
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/p2prepro/locaware/internal/keywords"
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// QueryEvent is one generated query: at time At, peer Requester submits
+// query Q targeting file Target.
+type QueryEvent struct {
+	At        sim.Time
+	Requester int
+	Target    FileID
+	Q         keywords.Query
+}
+
+// GenConfig parameterises query generation.
+type GenConfig struct {
+	// RatePerPeer is queries per second per peer; paper: 0.00083.
+	RatePerPeer float64
+	// ZipfS is the popularity exponent.
+	ZipfS float64
+}
+
+// DefaultGen matches §5.1's arrival rate, with the Zipf exponent at 1.0 —
+// the value the Gnutella popularity studies the paper cites ([11], [15])
+// report for query popularity.
+func DefaultGen() GenConfig { return GenConfig{RatePerPeer: 0.00083, ZipfS: 1.0} }
+
+// Generator produces a reproducible stream of query events via independent
+// Poisson processes per peer (superposed, equivalent to a single Poisson
+// process of aggregate rate n*RatePerPeer with uniform peer attribution).
+type Generator struct {
+	cfg GenConfig
+	cat *Catalog
+	// targets is the queryable file set, Zipf rank order. Per §3.3 of the
+	// paper, queries request files of PF — the set of popularly *shared*
+	// files, each provided by at least one peer — so the experiment
+	// harness restricts targets to initially placed files.
+	targets []FileID
+	zipf    *Zipf
+	n       int
+	r       *rand.Rand
+	now     sim.Time
+}
+
+// NewGenerator creates a generator over n peers targeting the whole
+// catalogue.
+func NewGenerator(n int, cfg GenConfig, cat *Catalog, r *rand.Rand) *Generator {
+	return NewGeneratorOver(n, cfg, cat, nil, r)
+}
+
+// NewGeneratorOver creates a generator whose queries target only the given
+// files (nil means the whole catalogue). Targets should be in ascending id
+// order: catalogue ids are popularity ranks, so the Zipf head lands on the
+// most popular queryable files.
+func NewGeneratorOver(n int, cfg GenConfig, cat *Catalog, targets []FileID, r *rand.Rand) *Generator {
+	if cfg.RatePerPeer <= 0 {
+		cfg.RatePerPeer = DefaultGen().RatePerPeer
+	}
+	if len(targets) == 0 {
+		targets = make([]FileID, cat.Size())
+		for i := range targets {
+			targets[i] = FileID(i)
+		}
+	} else {
+		cp := make([]FileID, len(targets))
+		copy(cp, targets)
+		targets = cp
+	}
+	return &Generator{
+		cfg:     cfg,
+		cat:     cat,
+		targets: targets,
+		zipf:    NewZipf(len(targets), cfg.ZipfS, r),
+		n:       n,
+		r:       r,
+	}
+}
+
+// AggregateRate returns the total queries/second across all peers.
+func (g *Generator) AggregateRate() float64 {
+	return g.cfg.RatePerPeer * float64(g.n)
+}
+
+// Next returns the next query event: an exponential inter-arrival at the
+// aggregate rate, a uniformly random requester, a Zipf-ranked target file
+// and a 1..K keyword query extracted from its filename.
+func (g *Generator) Next() QueryEvent {
+	lambda := g.AggregateRate()
+	gap := g.r.ExpFloat64() / lambda // seconds
+	if math.IsInf(gap, 0) || math.IsNaN(gap) {
+		gap = 1 / lambda
+	}
+	g.now += sim.FromSeconds(gap)
+	target := g.targets[g.zipf.Draw(g.r)]
+	f := g.cat.File(target)
+	return QueryEvent{
+		At:        g.now,
+		Requester: g.r.Intn(g.n),
+		Target:    target,
+		Q:         keywords.ExtractQuery(f, g.r),
+	}
+}
+
+// Take generates the next k events.
+func (g *Generator) Take(k int) []QueryEvent {
+	out := make([]QueryEvent, k)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/p2prepro/locaware/internal/keywords"
+)
+
+func paperCatalog(seed int64) (*Catalog, *rand.Rand) {
+	r := rand.New(rand.NewSource(seed))
+	return NewCatalog(DefaultCatalog(), r), r
+}
+
+func TestCatalogPaperScale(t *testing.T) {
+	c, _ := paperCatalog(1)
+	if c.Size() != 3000 {
+		t.Fatalf("size = %d, want 3000", c.Size())
+	}
+	if c.Pool().Size() != 9000 {
+		t.Fatalf("pool = %d, want 9000", c.Pool().Size())
+	}
+	seen := map[string]bool{}
+	for id := 0; id < c.Size(); id++ {
+		f := c.File(FileID(id))
+		if f.K() != 3 {
+			t.Fatalf("file %d has %d keywords", id, f.K())
+		}
+		name := f.String()
+		if seen[name] {
+			t.Fatalf("duplicate filename %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	c, _ := paperCatalog(2)
+	f := c.File(42)
+	id, ok := c.Lookup(f.String())
+	if !ok || id != 42 {
+		t.Fatalf("Lookup(%q) = %d,%v", f.String(), id, ok)
+	}
+	if _, ok := c.Lookup("nonexistent_name_here"); ok {
+		t.Fatal("phantom lookup")
+	}
+}
+
+func TestCatalogDefaultFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	c := NewCatalog(CatalogConfig{}, r)
+	if c.Size() != 3000 {
+		t.Fatalf("zero config did not fall back: size=%d", c.Size())
+	}
+}
+
+func TestMatchingFilesGroundTruth(t *testing.T) {
+	c, r := paperCatalog(4)
+	// A full-filename query must match at least its own file.
+	for trial := 0; trial < 50; trial++ {
+		id := FileID(r.Intn(c.Size()))
+		f := c.File(id)
+		q := keywords.NewQuery(f.Keywords()...)
+		matches := c.MatchingFiles(q)
+		found := false
+		for _, m := range matches {
+			if m == id {
+				found = true
+			}
+			if !c.File(m).Matches(q) {
+				t.Fatalf("MatchingFiles returned non-match %d", m)
+			}
+		}
+		if !found {
+			t.Fatalf("file %d not among matches of its own full query", id)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	z := NewZipf(3000, 0.8, r)
+	if z.N() != 3000 || z.S() != 0.8 {
+		t.Fatalf("params: n=%d s=%v", z.N(), z.S())
+	}
+	counts := make([]int, 3000)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Draw(r)
+		if k < 0 || k >= 3000 {
+			t.Fatalf("rank %d out of range", k)
+		}
+		counts[k]++
+	}
+	top10 := 0
+	for i := 0; i < 10; i++ {
+		top10 += counts[i]
+	}
+	frac := float64(top10) / draws
+	// With s=0.8 over 3000 ranks the top 10 files draw a visibly
+	// disproportionate share (uniform would give 0.0033).
+	if frac < 0.05 {
+		t.Fatalf("top-10 share %.4f — distribution not skewed", frac)
+	}
+	if counts[0] < counts[2999] {
+		t.Fatal("rank 0 less popular than rank 2999")
+	}
+}
+
+func TestZipfHeavyExponentUsesStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	z := NewZipf(100, 1.5, r)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw(r)]++
+	}
+	if counts[0] < counts[50] {
+		t.Fatal("s=1.5 distribution not decreasing")
+	}
+}
+
+func TestZipfS1LogForm(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	z := NewZipf(1000, 1.0, r)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw(r)]++
+	}
+	if counts[0] == 0 || counts[0] < counts[500] {
+		t.Fatalf("s=1 head not heavy: head=%d mid=%d", counts[0], counts[500])
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	z := NewZipf(0, -1, r)
+	if z.N() != 1 {
+		t.Fatalf("N = %d, want clamped 1", z.N())
+	}
+	for i := 0; i < 10; i++ {
+		if z.Draw(r) != 0 {
+			t.Fatal("single-rank zipf must always draw 0")
+		}
+	}
+	if z.S() != 0.8 {
+		t.Fatalf("default exponent not applied: %v", z.S())
+	}
+}
+
+func TestZipfQuickInRange(t *testing.T) {
+	prop := func(nRaw uint16, sRaw uint8, seed int64) bool {
+		n := 1 + int(nRaw)%5000
+		s := 0.1 + float64(sRaw%30)/10 // 0.1 .. 3.0
+		r := rand.New(rand.NewSource(seed))
+		z := NewZipf(n, s, r)
+		for i := 0; i < 50; i++ {
+			k := z.Draw(r)
+			if k < 0 || k >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementPaperScale(t *testing.T) {
+	c, r := paperCatalog(9)
+	pl := NewPlacement(1000, 3, c, r)
+	if pl.N() != 1000 {
+		t.Fatalf("N = %d", pl.N())
+	}
+	for p := 0; p < 1000; p++ {
+		files := pl.Files(p)
+		if len(files) != 3 {
+			t.Fatalf("peer %d shares %d files", p, len(files))
+		}
+		seen := map[FileID]bool{}
+		for _, f := range files {
+			if f < 0 || int(f) >= c.Size() {
+				t.Fatalf("file id %d out of range", f)
+			}
+			if seen[f] {
+				t.Fatalf("peer %d shares duplicate file %d", p, f)
+			}
+			seen[f] = true
+		}
+	}
+}
+
+func TestPlacementProvidersConsistent(t *testing.T) {
+	c, r := paperCatalog(10)
+	pl := NewPlacement(200, 3, c, r)
+	prov := pl.Providers()
+	total := 0
+	for f, peers := range prov {
+		total += len(peers)
+		for _, p := range peers {
+			found := false
+			for _, g := range pl.Files(p) {
+				if g == f {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("provider map lists peer %d for file %d it does not share", p, f)
+			}
+		}
+	}
+	if total != 600 {
+		t.Fatalf("provider entries = %d, want 600", total)
+	}
+}
+
+func TestPlacementFilesReturnsCopy(t *testing.T) {
+	c, r := paperCatalog(11)
+	pl := NewPlacement(5, 3, c, r)
+	fs := pl.Files(0)
+	fs[0] = -99
+	if pl.Files(0)[0] == -99 {
+		t.Fatal("Files exposed internal storage")
+	}
+}
+
+func TestPlacementClampsToCatalog(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	c := NewCatalog(CatalogConfig{NumFiles: 2, KeywordPool: 100, KeywordsPerFile: 3}, r)
+	pl := NewPlacement(3, 10, c, r)
+	if len(pl.Files(0)) != 2 {
+		t.Fatalf("clamp failed: %d files", len(pl.Files(0)))
+	}
+}
+
+func TestGeneratorRateAndAttribution(t *testing.T) {
+	c, r := paperCatalog(13)
+	g := NewGenerator(1000, DefaultGen(), c, r)
+	if math.Abs(g.AggregateRate()-0.83) > 1e-9 {
+		t.Fatalf("aggregate rate = %v, want 0.83", g.AggregateRate())
+	}
+	events := g.Take(5000)
+	var prev QueryEvent
+	requesters := map[int]bool{}
+	for i, ev := range events {
+		if i > 0 && ev.At < prev.At {
+			t.Fatal("event times not monotone")
+		}
+		if ev.Requester < 0 || ev.Requester >= 1000 {
+			t.Fatalf("requester %d out of range", ev.Requester)
+		}
+		if ev.Target < 0 || int(ev.Target) >= c.Size() {
+			t.Fatalf("target %d out of range", ev.Target)
+		}
+		if len(ev.Q.Kws) < 1 || len(ev.Q.Kws) > 3 {
+			t.Fatalf("query size %d", len(ev.Q.Kws))
+		}
+		if !c.File(ev.Target).Matches(ev.Q) {
+			t.Fatal("query does not match its target file")
+		}
+		requesters[ev.Requester] = true
+		prev = ev
+	}
+	if len(requesters) < 900 {
+		t.Fatalf("only %d distinct requesters in 5000 events", len(requesters))
+	}
+	// Mean inter-arrival should be ~1/0.83 s = ~1.2 s.
+	meanGap := events[len(events)-1].At.Seconds() / float64(len(events))
+	if meanGap < 0.8 || meanGap > 1.7 {
+		t.Fatalf("mean inter-arrival %.3fs, want ~1.2s", meanGap)
+	}
+}
+
+func TestGeneratorZipfTargetSkew(t *testing.T) {
+	c, r := paperCatalog(14)
+	g := NewGenerator(1000, DefaultGen(), c, r)
+	counts := map[FileID]int{}
+	for i := 0; i < 20000; i++ {
+		counts[g.Next().Target]++
+	}
+	if counts[0] <= counts[2500] {
+		t.Fatalf("popularity not skewed: head=%d tail=%d", counts[0], counts[2500])
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	c1, r1 := paperCatalog(15)
+	c2, r2 := paperCatalog(15)
+	g1 := NewGenerator(100, DefaultGen(), c1, r1)
+	g2 := NewGenerator(100, DefaultGen(), c2, r2)
+	for i := 0; i < 200; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.At != b.At || a.Requester != b.Requester || a.Target != b.Target || a.Q.String() != b.Q.String() {
+			t.Fatalf("generators diverged at %d", i)
+		}
+	}
+}
+
+func TestGeneratorRateFallback(t *testing.T) {
+	c, r := paperCatalog(16)
+	g := NewGenerator(10, GenConfig{RatePerPeer: -1, ZipfS: 0.8}, c, r)
+	if g.AggregateRate() <= 0 {
+		t.Fatal("rate fallback missing")
+	}
+}

@@ -1,0 +1,479 @@
+// Package locaware is a simulation library reproducing "Locaware: Index
+// Caching in Unstructured P2P-file Sharing Systems" (El Dick & Pacitti,
+// DAMAP/EDBT 2009).
+//
+// Locaware reduces P2P bandwidth waste in Gnutella-like file-sharing
+// overlays by caching query-response indexes with physical-location tags
+// (landmark-derived locIds), exploiting natural file replication (every
+// requester becomes a provider), and routing keyword queries with gossiped
+// Bloom filters. This package exposes the full evaluation apparatus: a
+// discrete-event simulator, a BRITE-style latency model with landmarks, an
+// unstructured overlay with churn, the workload of §5.1, and the four
+// compared protocols (Flooding, Dicas, Dicas-Keys, Locaware) plus the
+// location-aware-routing extension sketched in the paper's conclusion.
+//
+// Quick start:
+//
+//	opts := locaware.DefaultOptions()
+//	opts.Peers = 500
+//	res, err := locaware.Run(opts, locaware.ProtocolLocaware, 500, 1000)
+//	if err != nil { ... }
+//	fmt.Println(res.SuccessRate, res.AvgMessagesPerQuery, res.AvgDownloadRTTMs)
+//
+// To regenerate a paper figure, use Compare and FigureTable; see
+// cmd/locaware-exp for the complete harness.
+package locaware
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/overlay"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/stats"
+	"github.com/p2prepro/locaware/internal/trace"
+)
+
+// Protocol selects a search/caching protocol.
+type Protocol string
+
+// The five available protocols. The first four are the paper's §5
+// comparison; ProtocolLocawareLR adds the location-aware routing extension
+// proposed in §6.
+const (
+	ProtocolFlooding   Protocol = "Flooding"
+	ProtocolDicas      Protocol = "Dicas"
+	ProtocolDicasKeys  Protocol = "Dicas-Keys"
+	ProtocolLocaware   Protocol = "Locaware"
+	ProtocolLocawareLR Protocol = "Locaware-LR"
+)
+
+// Baselines returns the paper's four compared protocols in figure order.
+func Baselines() []Protocol {
+	return []Protocol{ProtocolFlooding, ProtocolDicas, ProtocolDicasKeys, ProtocolLocaware}
+}
+
+// ErrUnknownProtocol reports an unrecognised Protocol value.
+var ErrUnknownProtocol = errors.New("locaware: unknown protocol")
+
+func (p Protocol) behavior() (protocol.Behavior, error) {
+	switch p {
+	case ProtocolFlooding:
+		return protocol.Flooding{}, nil
+	case ProtocolDicas:
+		return protocol.Dicas{}, nil
+	case ProtocolDicasKeys:
+		return protocol.DicasKeys{}, nil
+	case ProtocolLocaware:
+		return protocol.Locaware{}, nil
+	case ProtocolLocawareLR:
+		return protocol.LocawareLR{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProtocol, string(p))
+	}
+}
+
+// Options configures a simulation. Zero fields fall back to the paper's
+// §5.1 values (see DefaultOptions).
+type Options struct {
+	// Seed roots every random stream; equal seeds give identical worlds
+	// and workloads across protocols.
+	Seed int64
+	// Peers is the overlay size (paper: 1000).
+	Peers int
+	// AvgDegree is the overlay's average connectivity degree (paper: 3).
+	AvgDegree float64
+	// Landmarks is the landmark count; k landmarks yield k! locIds
+	// (paper: 4 → 24).
+	Landmarks int
+	// Files is the catalogue size (paper: 3000); FilesPerPeer the initial
+	// share count (paper: 3); KeywordPool the keyword universe (paper:
+	// 9000).
+	Files        int
+	FilesPerPeer int
+	KeywordPool  int
+	// QueryRate is queries/second/peer (paper: 0.00083); ZipfS the
+	// popularity exponent.
+	QueryRate float64
+	ZipfS     float64
+	// TTL bounds query propagation (paper: 7); Groups is the Dicas group
+	// count M.
+	TTL    int
+	Groups int
+	// CacheFilenames bounds each response index (paper: 50);
+	// CacheProviders bounds providers per cached filename.
+	CacheFilenames int
+	CacheProviders int
+	// BloomBits sizes the keyword Bloom filter (paper: 1200).
+	BloomBits int
+	// Churn enables peer leave/rejoin dynamics.
+	Churn bool
+}
+
+// DefaultOptions returns the paper's evaluation setup.
+func DefaultOptions() Options {
+	return Options{
+		Seed:           1,
+		Peers:          1000,
+		AvgDegree:      3,
+		Landmarks:      4,
+		Files:          3000,
+		FilesPerPeer:   3,
+		KeywordPool:    9000,
+		QueryRate:      0.00083,
+		ZipfS:          1.0,
+		TTL:            7,
+		Groups:         4,
+		CacheFilenames: 50,
+		CacheProviders: 5,
+		BloomBits:      1200,
+	}
+}
+
+// coreConfig lowers Options to the internal configuration.
+func (o Options) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.Peers > 0 {
+		cfg.NumPeers = o.Peers
+	}
+	if o.AvgDegree > 0 {
+		cfg.AvgDegree = o.AvgDegree
+	}
+	if o.Landmarks > 0 {
+		cfg.Landmarks = o.Landmarks
+	}
+	if o.Files > 0 {
+		cfg.Catalog.NumFiles = o.Files
+	}
+	if o.KeywordPool > 0 {
+		cfg.Catalog.KeywordPool = o.KeywordPool
+	}
+	if o.FilesPerPeer > 0 {
+		cfg.FilesPerPeer = o.FilesPerPeer
+	}
+	if o.QueryRate > 0 {
+		cfg.Gen.RatePerPeer = o.QueryRate
+	}
+	if o.ZipfS > 0 {
+		cfg.Gen.ZipfS = o.ZipfS
+	}
+	if o.TTL > 0 {
+		cfg.Protocol.TTL = o.TTL
+	}
+	if o.Groups > 0 {
+		cfg.Protocol.GroupCount = o.Groups
+	}
+	if o.CacheFilenames > 0 {
+		cfg.Protocol.Cache.MaxFilenames = o.CacheFilenames
+	}
+	if o.CacheProviders > 0 {
+		cfg.Protocol.Cache.MaxProvidersPerFile = o.CacheProviders
+	}
+	if o.BloomBits > 0 {
+		cfg.Protocol.BloomBits = o.BloomBits
+	}
+	// Bloom gossip piggybacks on ordinary data exchange (§4.2), so its
+	// cadence follows system activity: when the query rate is accelerated
+	// above the paper's 0.00083 q/s/peer for fast experimentation, scale
+	// the gossip period down proportionally to keep "queries per gossip
+	// round" constant.
+	if o.QueryRate > 0 {
+		scale := DefaultOptions().QueryRate / o.QueryRate
+		if scale > 1 {
+			scale = 1
+		}
+		period := sim.Time(float64(cfg.Protocol.BloomGossipPeriod) * scale)
+		if period < sim.Second {
+			period = sim.Second
+		}
+		cfg.Protocol.BloomGossipPeriod = period
+	}
+	cfg.ChurnEnabled = o.Churn
+	cfg.Churn = overlay.DefaultChurn()
+	return cfg
+}
+
+// Result summarises one protocol run.
+type Result struct {
+	// Protocol is the protocol that produced the result.
+	Protocol Protocol
+	// Queries is the number of measured queries.
+	Queries int
+	// SuccessRate is satisfied/submitted (Fig. 4's metric).
+	SuccessRate float64
+	// AvgMessagesPerQuery is the mean search traffic (Fig. 3's metric).
+	AvgMessagesPerQuery float64
+	// AvgDownloadRTTMs is the mean requester→provider RTT over successful
+	// queries in milliseconds (Fig. 2's metric).
+	AvgDownloadRTTMs float64
+	// SameLocalityRate is the fraction of downloads served from the
+	// requester's own locality.
+	SameLocalityRate float64
+	// CacheHitRate is the fraction of successes answered from a response
+	// index rather than shared storage.
+	CacheHitRate float64
+	// AvgHops is the mean overlay distance to the first hit.
+	AvgHops float64
+	// BloomForwards, GidForwards and FallbackForwards count how many
+	// forwarding decisions each routing tier made; FloodForwards counts
+	// blind forwards (Flooding only).
+	BloomForwards    uint64
+	GidForwards      uint64
+	FallbackForwards uint64
+	FloodForwards    uint64
+	// ControlMessages and ControlKbits account Bloom-filter gossip
+	// (Locaware only), kept separate from search traffic as in the paper.
+	ControlMessages uint64
+	ControlKbits    float64
+	// CachedFilenames and CachedProviderEntries snapshot aggregate
+	// response-index occupancy at the end of the run.
+	CachedFilenames       int
+	CachedProviderEntries int
+	// SimulatedSeconds is the virtual duration of the run.
+	SimulatedSeconds float64
+	// Events is the number of simulator events processed.
+	Events uint64
+}
+
+func newResult(p Protocol, r *core.RunResult) *Result {
+	return &Result{
+		Protocol:              p,
+		Queries:               r.Collector.Submitted(),
+		SuccessRate:           r.Collector.SuccessRate(),
+		AvgMessagesPerQuery:   r.Collector.AvgMessagesPerQuery(),
+		AvgDownloadRTTMs:      r.Collector.AvgDownloadRTT(),
+		SameLocalityRate:      r.Collector.SameLocalityRate(),
+		CacheHitRate:          r.Collector.CacheHitRate(),
+		AvgHops:               r.Collector.AvgHops(),
+		BloomForwards:         r.Forwarding.BloomMatched,
+		GidForwards:           r.Forwarding.GidMatched,
+		FallbackForwards:      r.Forwarding.Fallback,
+		FloodForwards:         r.Forwarding.FloodAll,
+		ControlMessages:       r.ControlMessages,
+		ControlKbits:          float64(r.ControlBits) / 1000,
+		CachedFilenames:       r.CacheFilenames,
+		CachedProviderEntries: r.CacheProviderEntries,
+		SimulatedSeconds:      r.Duration.Seconds(),
+		Events:                r.Events,
+	}
+}
+
+// Run simulates one protocol: warmup queries bring the system to operating
+// temperature (records discarded), then queries are measured.
+func Run(o Options, p Protocol, warmup, queries int) (*Result, error) {
+	b, err := p.behavior()
+	if err != nil {
+		return nil, err
+	}
+	if queries <= 0 {
+		return nil, errors.New("locaware: queries must be positive")
+	}
+	if warmup < 0 {
+		return nil, errors.New("locaware: warmup must be non-negative")
+	}
+	s := core.NewSimulation(o.coreConfig(), b)
+	return newResult(p, s.RunMeasured(warmup, queries)), nil
+}
+
+// TraceEvent is one traced protocol action in a RunTraced run.
+type TraceEvent struct {
+	// AtSeconds is the virtual timestamp in seconds.
+	AtSeconds float64
+	// Kind is the action name: submit, forward, duplicate, storage-hit,
+	// cache-hit, response-hop, cached, download, failed, gossip.
+	Kind string
+	// Query is the query's sequence number (0 for gossip events).
+	Query uint64
+	// Peer is the acting peer; From the counterpart peer for link-crossing
+	// actions (-1 otherwise).
+	Peer, From int
+	// Detail is a short annotation (filename, provider, delta size).
+	Detail string
+}
+
+// String renders the event as a log line.
+func (e TraceEvent) String() string {
+	if e.From >= 0 {
+		return fmt.Sprintf("%9.3fs q=%-4d %-12s peer=%-4d from=%-4d %s", e.AtSeconds, e.Query, e.Kind, e.Peer, e.From, e.Detail)
+	}
+	return fmt.Sprintf("%9.3fs q=%-4d %-12s peer=%-4d           %s", e.AtSeconds, e.Query, e.Kind, e.Peer, e.Detail)
+}
+
+// RunTraced is Run with structured event tracing: it returns the run's
+// summary plus up to maxEvents protocol events (submission, forwarding,
+// hits, reverse-path caching, downloads, gossip) in virtual-time order.
+func RunTraced(o Options, p Protocol, warmup, queries, maxEvents int) (*Result, []TraceEvent, error) {
+	b, err := p.behavior()
+	if err != nil {
+		return nil, nil, err
+	}
+	if queries <= 0 {
+		return nil, nil, errors.New("locaware: queries must be positive")
+	}
+	if warmup < 0 {
+		return nil, nil, errors.New("locaware: warmup must be non-negative")
+	}
+	s := core.NewSimulation(o.coreConfig(), b)
+	buf := trace.NewBuffer(maxEvents)
+	s.Network.Tracer = buf
+	res := newResult(p, s.RunMeasured(warmup, queries))
+	events := make([]TraceEvent, 0, buf.Len())
+	for _, e := range buf.Events() {
+		events = append(events, TraceEvent{
+			AtSeconds: e.At.Seconds(),
+			Kind:      e.Kind.String(),
+			Query:     e.Query,
+			Peer:      e.Peer,
+			From:      e.From,
+			Detail:    e.Detail,
+		})
+	}
+	return res, events, nil
+}
+
+// Figure identifies one of the paper's evaluation figures.
+type Figure string
+
+// The paper's three figures.
+const (
+	FigureDownloadDistance Figure = "fig2-download-distance"
+	FigureSearchTraffic    Figure = "fig3-search-traffic"
+	FigureSuccessRate      Figure = "fig4-success-rate"
+)
+
+// Comparison is a paired multi-protocol run.
+type Comparison struct {
+	// Results holds per-protocol summaries in run order.
+	Results []*Result
+	cmp     *core.Comparison
+}
+
+// Compare runs each protocol over an identical world and workload.
+func Compare(o Options, protocols []Protocol, warmup, queries int, checkpoints []int) (*Comparison, error) {
+	if len(protocols) == 0 {
+		protocols = Baselines()
+	}
+	behaviors := make([]protocol.Behavior, 0, len(protocols))
+	for _, p := range protocols {
+		b, err := p.behavior()
+		if err != nil {
+			return nil, err
+		}
+		behaviors = append(behaviors, b)
+	}
+	if queries <= 0 {
+		return nil, errors.New("locaware: queries must be positive")
+	}
+	cmp := core.RunComparison(o.coreConfig(), behaviors, warmup, queries, checkpoints)
+	out := &Comparison{cmp: cmp}
+	for i, name := range cmp.Order {
+		out.Results = append(out.Results, newResult(protocols[i], cmp.Results[name]))
+	}
+	return out, nil
+}
+
+// Result returns the summary for protocol p, or nil if p was not compared.
+func (c *Comparison) Result(p Protocol) *Result {
+	for _, r := range c.Results {
+		if r.Protocol == p {
+			return r
+		}
+	}
+	return nil
+}
+
+// FigureSeries returns one curve per protocol for the figure: x = number
+// of queries, y = the figure's metric over the window ending there.
+func (c *Comparison) FigureSeries(f Figure) []*stats.Series {
+	return c.cmp.FigureSeries(string(f))
+}
+
+// FigureTable renders the figure as an aligned text table, one row per
+// checkpoint and one column per protocol — the same rows the paper's plots
+// show.
+func (c *Comparison) FigureTable(f Figure) string {
+	return stats.Table("queries", c.cmp.FigureSeries(string(f)))
+}
+
+// FigureCSV renders the figure as CSV for external plotting.
+func (c *Comparison) FigureCSV(f Figure) string {
+	return stats.CSV("queries", c.cmp.FigureSeries(string(f)))
+}
+
+// Headlines reports the paper's three headline claims measured on this
+// comparison: download-distance reduction (paper ≈ −14%), search-traffic
+// reduction versus flooding (paper ≈ −98%), and success-rate gains versus
+// Dicas/Dicas-Keys (paper ≈ +23% / +33%).
+type Headlines struct {
+	DistanceReduction          float64
+	TrafficReductionVsFlooding float64
+	HitGainVsDicas             float64
+	HitGainVsDicasKeys         float64
+}
+
+// Headlines computes the headline claims from the comparison.
+func (c *Comparison) Headlines() Headlines {
+	h := c.cmp.Headlines()
+	return Headlines{
+		DistanceReduction:          h.DistanceReduction,
+		TrafficReductionVsFlooding: h.TrafficReductionVsFlooding,
+		HitGainVsDicas:             h.HitGainVsDicas,
+		HitGainVsDicasKeys:         h.HitGainVsDicasKeys,
+	}
+}
+
+// Seconds is a convenience for expressing sim-time quantities in seconds
+// in user-facing configuration.
+func Seconds(s float64) int64 { return int64(sim.FromSeconds(s)) }
+
+// LocalityReport describes how a landmark set partitions the peer
+// population into physical localities — the §5.1 analysis behind the
+// paper's choice of 4 landmarks.
+type LocalityReport struct {
+	// Landmarks is the landmark count k; PossibleLocIDs is k!.
+	Landmarks      int
+	PossibleLocIDs int
+	// OccupiedLocIDs is how many locIds at least one peer maps to.
+	OccupiedLocIDs int
+	// MeanPeersPerLocality is peers / occupied locIds (the paper reports
+	// ≈8 for 5 landmarks over 1000 peers, too thin to find same-locality
+	// providers).
+	MeanPeersPerLocality float64
+	// LargestLocality is the population of the most crowded locId.
+	LargestLocality int
+}
+
+// Localities builds the physical world of opts (without running any
+// queries) and reports its locality structure.
+func Localities(o Options) LocalityReport {
+	cfg := o.coreConfig()
+	s := core.NewSimulation(cfg, protocol.Flooding{})
+	census := s.Locator.Census()
+	rep := LocalityReport{
+		Landmarks:            cfg.Landmarks,
+		PossibleLocIDs:       netmodelNumLocIDs(cfg.Landmarks),
+		OccupiedLocIDs:       len(census),
+		MeanPeersPerLocality: s.Locator.MeanPeersPerOccupiedLocID(),
+	}
+	for _, n := range census {
+		if n > rep.LargestLocality {
+			rep.LargestLocality = n
+		}
+	}
+	return rep
+}
+
+// netmodelNumLocIDs avoids exporting the internal package in the facade
+// signature.
+func netmodelNumLocIDs(k int) int {
+	n := 1
+	for i := 2; i <= k; i++ {
+		n *= i
+	}
+	return n
+}

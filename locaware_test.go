@@ -1,0 +1,242 @@
+package locaware
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOptions shrinks the world so facade tests run in milliseconds.
+func fastOptions(seed int64) Options {
+	o := DefaultOptions()
+	o.Seed = seed
+	o.Peers = 150
+	o.QueryRate = 0.01
+	return o
+}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(fastOptions(1), ProtocolFlooding, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != ProtocolFlooding || res.Queries != 50 {
+		t.Fatalf("result header: %+v", res)
+	}
+	if res.SuccessRate <= 0 || res.SuccessRate > 1 {
+		t.Fatalf("success = %v", res.SuccessRate)
+	}
+	if res.AvgMessagesPerQuery <= 0 {
+		t.Fatalf("messages = %v", res.AvgMessagesPerQuery)
+	}
+	if res.Events == 0 || res.SimulatedSeconds <= 0 {
+		t.Fatalf("accounting: %+v", res)
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{ProtocolFlooding, ProtocolDicas, ProtocolDicasKeys, ProtocolLocaware, ProtocolLocawareLR} {
+		res, err := Run(fastOptions(2), p, 20, 40)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Queries != 40 {
+			t.Fatalf("%s measured %d", p, res.Queries)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(fastOptions(3), Protocol("bogus"), 0, 10); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := Run(fastOptions(3), ProtocolLocaware, 0, 0); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+	if _, err := Run(fastOptions(3), ProtocolLocaware, -1, 10); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(fastOptions(4), ProtocolLocaware, 10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fastOptions(4), ProtocolLocaware, 10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SuccessRate != b.SuccessRate || a.Events != b.Events {
+		t.Fatal("same-seed runs differ")
+	}
+}
+
+func TestLocawareGossipAccounted(t *testing.T) {
+	res, err := Run(fastOptions(5), ProtocolLocaware, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControlMessages == 0 {
+		t.Fatal("no Bloom gossip recorded")
+	}
+	fl, err := Run(fastOptions(5), ProtocolFlooding, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.ControlMessages != 0 {
+		t.Fatal("flooding should not gossip")
+	}
+}
+
+func TestCompareAndFigures(t *testing.T) {
+	cmp, err := Compare(fastOptions(6), nil, 50, 100, []int{50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != 4 {
+		t.Fatalf("results = %d", len(cmp.Results))
+	}
+	if cmp.Result(ProtocolLocaware) == nil || cmp.Result(ProtocolLocawareLR) != nil {
+		t.Fatal("Result lookup broken")
+	}
+	for _, f := range []Figure{FigureDownloadDistance, FigureSearchTraffic, FigureSuccessRate} {
+		series := cmp.FigureSeries(f)
+		if len(series) != 4 {
+			t.Fatalf("%s series = %d", f, len(series))
+		}
+		tbl := cmp.FigureTable(f)
+		if !strings.Contains(tbl, "Locaware") || !strings.Contains(tbl, "Flooding") {
+			t.Fatalf("%s table missing protocols:\n%s", f, tbl)
+		}
+		csv := cmp.FigureCSV(f)
+		if !strings.HasPrefix(csv, "queries,") {
+			t.Fatalf("%s csv header: %q", f, strings.SplitN(csv, "\n", 2)[0])
+		}
+	}
+	h := cmp.Headlines()
+	if h.TrafficReductionVsFlooding >= 0 {
+		t.Fatalf("traffic reduction = %v, want negative", h.TrafficReductionVsFlooding)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(fastOptions(7), []Protocol{"nope"}, 0, 10, nil); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := Compare(fastOptions(7), nil, 0, 0, nil); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+}
+
+func TestOptionsLowering(t *testing.T) {
+	o := DefaultOptions()
+	o.Peers = 123
+	o.Landmarks = 3
+	o.TTL = 5
+	o.CacheFilenames = 10
+	cfg := o.coreConfig()
+	if cfg.NumPeers != 123 || cfg.Landmarks != 3 || cfg.Protocol.TTL != 5 ||
+		cfg.Protocol.Cache.MaxFilenames != 10 {
+		t.Fatalf("lowering lost fields: %+v", cfg)
+	}
+	// Zero-value options still produce a runnable config.
+	var zero Options
+	cfg = zero.coreConfig()
+	if cfg.NumPeers <= 0 || cfg.Protocol.TTL <= 0 {
+		t.Fatalf("zero options not defaulted: %+v", cfg)
+	}
+}
+
+func TestBaselinesOrder(t *testing.T) {
+	b := Baselines()
+	if len(b) != 4 || b[0] != ProtocolFlooding || b[3] != ProtocolLocaware {
+		t.Fatalf("baselines = %v", b)
+	}
+}
+
+func TestChurnOption(t *testing.T) {
+	o := fastOptions(8)
+	o.Churn = true
+	res, err := Run(o, ProtocolLocaware, 50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 100 {
+		t.Fatalf("churn run measured %d", res.Queries)
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	res, events, err := RunTraced(fastOptions(20), ProtocolLocaware, 0, 20, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 20 {
+		t.Fatalf("queries = %d", res.Queries)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events traced")
+	}
+	submits, outcomes := 0, 0
+	for i, e := range events {
+		if e.Kind == "submit" {
+			submits++
+		}
+		if e.Kind == "download" || e.Kind == "failed" {
+			outcomes++
+		}
+		if i > 0 && e.AtSeconds < events[i-1].AtSeconds {
+			t.Fatal("events out of time order")
+		}
+		if e.String() == "" {
+			t.Fatal("empty event string")
+		}
+	}
+	if submits != 20 {
+		t.Fatalf("submits = %d, want 20", submits)
+	}
+	if outcomes != 20 {
+		t.Fatalf("outcomes = %d, want one per query", outcomes)
+	}
+}
+
+func TestRunTracedErrors(t *testing.T) {
+	if _, _, err := RunTraced(fastOptions(21), Protocol("nope"), 0, 5, 100); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, _, err := RunTraced(fastOptions(21), ProtocolLocaware, 0, 0, 100); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+	if _, _, err := RunTraced(fastOptions(21), ProtocolLocaware, -5, 5, 100); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+func TestLocalitiesReport(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Peers = 500
+	rep4 := Localities(opts)
+	if rep4.Landmarks != 4 || rep4.PossibleLocIDs != 24 {
+		t.Fatalf("report = %+v", rep4)
+	}
+	if rep4.OccupiedLocIDs == 0 || rep4.OccupiedLocIDs > 24 {
+		t.Fatalf("occupied = %d", rep4.OccupiedLocIDs)
+	}
+	if rep4.MeanPeersPerLocality <= 0 || rep4.LargestLocality <= 0 {
+		t.Fatalf("report = %+v", rep4)
+	}
+	opts.Landmarks = 5
+	rep5 := Localities(opts)
+	if rep5.PossibleLocIDs != 120 {
+		t.Fatalf("5 landmarks possible = %d", rep5.PossibleLocIDs)
+	}
+	if rep5.MeanPeersPerLocality >= rep4.MeanPeersPerLocality {
+		t.Fatal("5 landmarks should scatter peers more thinly (§5.1)")
+	}
+}
+
+func TestSecondsHelper(t *testing.T) {
+	if Seconds(1.5) != 1500000 {
+		t.Fatalf("Seconds(1.5) = %d", Seconds(1.5))
+	}
+}
