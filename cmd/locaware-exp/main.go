@@ -8,6 +8,15 @@
 //	locaware-exp -fig 4      # success rate vs #queries     (Fig. 4)
 //	locaware-exp -fig all    # everything + headline claims
 //
+// Replication and parallelism: every experiment accepts -trials N to
+// average over N independently seeded worlds (figure cells become
+// mean±95%CI, as the paper's averaged PeerSim runs) and -workers W to bound
+// the simulation worker pool (0 = one per CPU). Results are identical for
+// any -workers value.
+//
+//	locaware-exp -fig all -trials 8             # error-barred figures
+//	locaware-exp -ablation cachesize -trials 4  # replicated sweep
+//
 // Ablations/extensions:
 //
 //	locaware-exp -ablation landmarks   # 3/4/5 landmarks (§5.1 discussion)
@@ -35,6 +44,8 @@ func main() {
 		warmup   = flag.Int("warmup", 1000, "warmup queries")
 		queries  = flag.Int("queries", 2000, "measured queries")
 		seed     = flag.Int64("seed", 1, "random seed")
+		trials   = flag.Int("trials", 1, "independent replications per experiment cell")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = one per CPU)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
@@ -42,6 +53,8 @@ func main() {
 	opts := locaware.DefaultOptions()
 	opts.Seed = *seed
 	opts.Peers = *peers
+	opts.Trials = *trials
+	opts.Workers = *workers
 
 	switch {
 	case *fig != "":
@@ -69,7 +82,7 @@ func figureOf(name string) (locaware.Figure, string) {
 }
 
 func runFigures(opts locaware.Options, which string, warmup, queries int, csv bool) {
-	cmp, err := locaware.Compare(opts, locaware.Baselines(), warmup, queries, nil)
+	cmp, err := locaware.CompareTrials(opts, locaware.Baselines(), warmup, queries, nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,6 +94,9 @@ func runFigures(opts locaware.Options, which string, warmup, queries int, csv bo
 		f, title := figureOf(name)
 		if f == "" {
 			fatal(fmt.Errorf("unknown figure %q", name))
+		}
+		if opts.Trials > 1 {
+			title += fmt.Sprintf(" (mean±95%%CI over %d trials)", opts.Trials)
 		}
 		fmt.Println("==", title)
 		if csv {
@@ -99,51 +115,52 @@ func runFigures(opts locaware.Options, which string, warmup, queries int, csv bo
 		fmt.Printf("success rate vs Dicas-Keys    %+.1f%%\n", 100*h.HitGainVsDicasKeys)
 		fmt.Println()
 		fmt.Println("== Per-protocol summary")
-		for _, r := range cmp.Results {
-			fmt.Printf("%-12s success=%.3f msgs/q=%8.2f rtt=%6.1fms sameLoc=%.3f gossip=%d msgs\n",
+		for _, r := range cmp.Sets {
+			fmt.Printf("%-12s success=%s msgs/q=%s rtt=%sms sameLoc=%s gossip=%.0f msgs\n",
 				r.Protocol, r.SuccessRate, r.AvgMessagesPerQuery, r.AvgDownloadRTTMs,
-				r.SameLocalityRate, r.ControlMessages)
+				r.SameLocalityRate, r.ControlMessages.Mean)
 		}
 	}
 }
 
 func runAblation(opts locaware.Options, which string, warmup, queries int) {
+	trialNote(opts)
 	switch which {
 	case "landmarks":
 		fmt.Println("== Ablation: landmark count (paper §5.1: 4 landmarks → 24 locIds; 5 scatter peers too thinly)")
-		fmt.Printf("%-10s %12s %14s %12s\n", "landmarks", "success", "rtt(ms)", "sameLoc")
+		fmt.Printf("%-10s %14s %16s %14s\n", "landmarks", "success", "rtt(ms)", "sameLoc")
 		for _, k := range []int{3, 4, 5} {
 			o := opts
 			o.Landmarks = k
-			r := mustRun(o, locaware.ProtocolLocaware, warmup, queries)
-			fmt.Printf("%-10d %12.3f %14.1f %12.3f\n", k, r.SuccessRate, r.AvgDownloadRTTMs, r.SameLocalityRate)
+			r := mustTrials(o, locaware.ProtocolLocaware, warmup, queries)
+			fmt.Printf("%-10d %14s %16s %14s\n", k, r.SuccessRate, r.AvgDownloadRTTMs, r.SameLocalityRate)
 		}
 	case "cachesize":
 		fmt.Println("== Ablation: response-index capacity (paper: 50 filenames)")
-		fmt.Printf("%-10s %12s %14s %12s\n", "capacity", "success", "rtt(ms)", "msgs/q")
+		fmt.Printf("%-10s %14s %16s %14s\n", "capacity", "success", "rtt(ms)", "msgs/q")
 		for _, c := range []int{10, 25, 50, 100, 200} {
 			o := opts
 			o.CacheFilenames = c
-			r := mustRun(o, locaware.ProtocolLocaware, warmup, queries)
-			fmt.Printf("%-10d %12.3f %14.1f %12.2f\n", c, r.SuccessRate, r.AvgDownloadRTTMs, r.AvgMessagesPerQuery)
+			r := mustTrials(o, locaware.ProtocolLocaware, warmup, queries)
+			fmt.Printf("%-10d %14s %16s %14s\n", c, r.SuccessRate, r.AvgDownloadRTTMs, r.AvgMessagesPerQuery)
 		}
 	case "bloom":
 		fmt.Println("== Ablation: Bloom filter size (paper: 1200 bits for 50 filenames × 3 keywords)")
-		fmt.Printf("%-10s %12s %12s %16s\n", "bits", "success", "msgs/q", "gossip kbit")
+		fmt.Printf("%-10s %14s %14s %18s\n", "bits", "success", "msgs/q", "gossip kbit")
 		for _, bits := range []int{300, 600, 1200, 2400} {
 			o := opts
 			o.BloomBits = bits
-			r := mustRun(o, locaware.ProtocolLocaware, warmup, queries)
-			fmt.Printf("%-10d %12.3f %12.2f %16.1f\n", bits, r.SuccessRate, r.AvgMessagesPerQuery, r.ControlKbits)
+			r := mustTrials(o, locaware.ProtocolLocaware, warmup, queries)
+			fmt.Printf("%-10d %14s %14s %18s\n", bits, r.SuccessRate, r.AvgMessagesPerQuery, r.ControlKbits)
 		}
 	case "groups":
 		fmt.Println("== Ablation: Dicas group count M (caching density vs routing selectivity)")
-		fmt.Printf("%-10s %12s %12s %12s\n", "M", "success", "msgs/q", "cached")
+		fmt.Printf("%-10s %14s %14s %14s\n", "M", "success", "msgs/q", "cached")
 		for _, m := range []int{2, 4, 8, 16} {
 			o := opts
 			o.Groups = m
-			r := mustRun(o, locaware.ProtocolLocaware, warmup, queries)
-			fmt.Printf("%-10d %12.3f %12.2f %12d\n", m, r.SuccessRate, r.AvgMessagesPerQuery, r.CachedFilenames)
+			r := mustTrials(o, locaware.ProtocolLocaware, warmup, queries)
+			fmt.Printf("%-10d %14s %14s %14s\n", m, r.SuccessRate, r.AvgMessagesPerQuery, r.CachedFilenames)
 		}
 	default:
 		fatal(fmt.Errorf("unknown ablation %q", which))
@@ -151,23 +168,24 @@ func runAblation(opts locaware.Options, which string, warmup, queries int) {
 }
 
 func runExtension(opts locaware.Options, which string, warmup, queries int) {
+	trialNote(opts)
 	switch which {
 	case "lr":
 		fmt.Println("== Extension: location-aware routing (paper §6 future work)")
-		fmt.Printf("%-14s %12s %14s %12s %12s\n", "protocol", "success", "rtt(ms)", "sameLoc", "msgs/q")
+		fmt.Printf("%-14s %14s %16s %14s %14s\n", "protocol", "success", "rtt(ms)", "sameLoc", "msgs/q")
 		for _, p := range []locaware.Protocol{locaware.ProtocolLocaware, locaware.ProtocolLocawareLR} {
-			r := mustRun(opts, p, warmup, queries)
-			fmt.Printf("%-14s %12.3f %14.1f %12.3f %12.2f\n", r.Protocol, r.SuccessRate, r.AvgDownloadRTTMs, r.SameLocalityRate, r.AvgMessagesPerQuery)
+			r := mustTrials(opts, p, warmup, queries)
+			fmt.Printf("%-14s %14s %16s %14s %14s\n", r.Protocol, r.SuccessRate, r.AvgDownloadRTTMs, r.SameLocalityRate, r.AvgMessagesPerQuery)
 		}
 	case "churn":
 		fmt.Println("== Extension: churn resilience (stale indexes filtered at selection)")
-		fmt.Printf("%-14s %10s %12s %14s\n", "protocol", "churn", "success", "rtt(ms)")
+		fmt.Printf("%-14s %10s %14s %16s\n", "protocol", "churn", "success", "rtt(ms)")
 		for _, p := range []locaware.Protocol{locaware.ProtocolDicas, locaware.ProtocolLocaware} {
 			for _, churn := range []bool{false, true} {
 				o := opts
 				o.Churn = churn
-				r := mustRun(o, p, warmup, queries)
-				fmt.Printf("%-14s %10v %12.3f %14.1f\n", r.Protocol, churn, r.SuccessRate, r.AvgDownloadRTTMs)
+				r := mustTrials(o, p, warmup, queries)
+				fmt.Printf("%-14s %10v %14s %16s\n", r.Protocol, churn, r.SuccessRate, r.AvgDownloadRTTMs)
 			}
 		}
 	default:
@@ -175,8 +193,16 @@ func runExtension(opts locaware.Options, which string, warmup, queries int) {
 	}
 }
 
-func mustRun(o locaware.Options, p locaware.Protocol, warmup, queries int) *locaware.Result {
-	r, err := locaware.Run(o, p, warmup, queries)
+func trialNote(opts locaware.Options) {
+	if opts.Trials > 1 {
+		fmt.Printf("(cells are mean±95%%CI over %d trials)\n", opts.Trials)
+	}
+}
+
+// mustTrials runs the replicated experiment for one cell; with -trials 1
+// the estimates collapse to the single sequential run's exact values.
+func mustTrials(o locaware.Options, p locaware.Protocol, warmup, queries int) *locaware.TrialsResult {
+	r, err := locaware.RunTrials(o, p, warmup, queries)
 	if err != nil {
 		fatal(err)
 	}

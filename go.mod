@@ -1,0 +1,3 @@
+module github.com/p2prepro/locaware
+
+go 1.24

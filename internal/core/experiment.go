@@ -36,16 +36,25 @@ type Comparison struct {
 
 // RunComparison runs every behaviour on the same seeded world for
 // numQueries measured queries, preceded by warmup queries whose records
-// are discarded (0 disables warmup).
+// are discarded (0 disables warmup). It is the single-trial special case of
+// RunTrialComparison, so independent behaviours execute concurrently across
+// the CPU-bounded worker pool; results are identical to a sequential loop.
+// Use RunComparisonWorkers to bound the pool.
 func RunComparison(cfg Config, behaviors []protocol.Behavior, warmup, numQueries int, checkpoints []int) *Comparison {
+	return RunComparisonWorkers(cfg, behaviors, 0, warmup, numQueries, checkpoints)
+}
+
+// RunComparisonWorkers is RunComparison with at most workers concurrent
+// simulations (<= 0 means one per CPU).
+func RunComparisonWorkers(cfg Config, behaviors []protocol.Behavior, workers, warmup, numQueries int, checkpoints []int) *Comparison {
+	tc := RunTrialComparison(cfg, behaviors, TrialOptions{Trials: 1, Workers: workers}, warmup, numQueries, checkpoints)
 	cmp := &Comparison{
-		Results:     make(map[string]*RunResult, len(behaviors)),
-		Checkpoints: normalizeCheckpoints(checkpoints, numQueries),
+		Results:     make(map[string]*RunResult, len(tc.Order)),
+		Order:       tc.Order,
+		Checkpoints: tc.Checkpoints,
 	}
-	for _, b := range behaviors {
-		s := NewSimulation(cfg, b)
-		cmp.Results[b.Name()] = s.RunMeasured(warmup, numQueries)
-		cmp.Order = append(cmp.Order, b.Name())
+	for _, name := range tc.Order {
+		cmp.Results[name] = tc.Cells[name].Runs[0]
 	}
 	return cmp
 }

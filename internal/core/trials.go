@@ -1,0 +1,227 @@
+package core
+
+import (
+	"github.com/p2prepro/locaware/internal/exper"
+	"github.com/p2prepro/locaware/internal/metrics"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/stats"
+)
+
+// TrialOptions configures replicated execution of experiment cells.
+type TrialOptions struct {
+	// Trials is the number of independent replications per (behaviour ×
+	// config) cell; values below 1 mean a single trial. Trial t runs on its
+	// own Engine rooted at sim.TrialSeed(cfg.Seed, t), so trial 0
+	// reproduces the sequential single-run output exactly.
+	Trials int
+	// Workers bounds how many simulations run concurrently; <= 0 selects
+	// runtime.NumCPU(). The worker count never changes results, only
+	// wall-clock time: every cell is an isolated engine with its own RNG
+	// streams and results are gathered by index, not completion order.
+	Workers int
+}
+
+func (t TrialOptions) trials() int {
+	if t.Trials < 1 {
+		return 1
+	}
+	return t.Trials
+}
+
+// TrialSummary holds cross-trial sample statistics of the headline run
+// metrics; each Summary's N is the trial count.
+type TrialSummary struct {
+	SuccessRate      stats.Summary
+	MessagesPerQuery stats.Summary
+	DownloadRTT      stats.Summary
+	SameLocalityRate stats.Summary
+	CacheHitRate     stats.Summary
+	Hops             stats.Summary
+	ControlMessages  stats.Summary
+	ControlKbits     stats.Summary
+	CachedFilenames  stats.Summary
+}
+
+// TrialCell is one (behaviour × config) experiment cell replicated across
+// trials: per-trial run results in trial order plus their aggregation.
+type TrialCell struct {
+	// Protocol is the behaviour's name.
+	Protocol string
+	// Seeds[t] is the root seed trial t ran under.
+	Seeds []int64
+	// Runs[t] is trial t's full result.
+	Runs []*RunResult
+	// Summary aggregates the headline metrics across trials.
+	Summary TrialSummary
+}
+
+func summarize(runs []*RunResult) TrialSummary {
+	n := len(runs)
+	sr := make([]float64, 0, n)
+	mpq := make([]float64, 0, n)
+	rtt := make([]float64, 0, n)
+	loc := make([]float64, 0, n)
+	hit := make([]float64, 0, n)
+	hops := make([]float64, 0, n)
+	ctl := make([]float64, 0, n)
+	kbit := make([]float64, 0, n)
+	cached := make([]float64, 0, n)
+	for _, r := range runs {
+		sr = append(sr, r.Collector.SuccessRate())
+		mpq = append(mpq, r.Collector.AvgMessagesPerQuery())
+		rtt = append(rtt, r.Collector.AvgDownloadRTT())
+		loc = append(loc, r.Collector.SameLocalityRate())
+		hit = append(hit, r.Collector.CacheHitRate())
+		hops = append(hops, r.Collector.AvgHops())
+		ctl = append(ctl, float64(r.ControlMessages))
+		kbit = append(kbit, float64(r.ControlBits)/1000)
+		cached = append(cached, float64(r.CacheFilenames))
+	}
+	return TrialSummary{
+		SuccessRate:      stats.Summarize(sr),
+		MessagesPerQuery: stats.Summarize(mpq),
+		DownloadRTT:      stats.Summarize(rtt),
+		SameLocalityRate: stats.Summarize(loc),
+		CacheHitRate:     stats.Summarize(hit),
+		Hops:             stats.Summarize(hops),
+		ControlMessages:  stats.Summarize(ctl),
+		ControlKbits:     stats.Summarize(kbit),
+		CachedFilenames:  stats.Summarize(cached),
+	}
+}
+
+// RunTrials replicates one behaviour over topt.trials() independent worlds
+// across a bounded worker pool. Trial t's config is cfg with its Seed
+// replaced by sim.TrialSeed(cfg.Seed, t); everything else is shared, so the
+// trials sample seed space at one parameter point.
+func RunTrials(cfg Config, b protocol.Behavior, topt TrialOptions, warmup, measured int) *TrialCell {
+	trials := topt.trials()
+	seeds := make([]int64, trials)
+	for t := range seeds {
+		seeds[t] = sim.TrialSeed(cfg.Seed, t)
+	}
+	runs := exper.Map(trials, topt.Workers, func(t int) *RunResult {
+		c := cfg
+		c.Seed = seeds[t]
+		return NewSimulation(c, b).RunMeasured(warmup, measured)
+	})
+	return &TrialCell{
+		Protocol: b.Name(),
+		Seeds:    seeds,
+		Runs:     runs,
+		Summary:  summarize(runs),
+	}
+}
+
+// TrialComparison is a paired multi-protocol, multi-trial experiment: every
+// behaviour sees the identical sequence of trial worlds (trial t of every
+// behaviour shares one seed, hence one topology, placement and workload),
+// preserving the paired-comparison property of RunComparison per trial.
+type TrialComparison struct {
+	// Cells maps protocol name to its replicated cell.
+	Cells map[string]*TrialCell
+	// Order preserves behaviour order for stable presentation.
+	Order []string
+	// Checkpoints are the cumulative query counts of figure points.
+	Checkpoints []int
+	// Trials is the replication count.
+	Trials int
+}
+
+// RunTrialComparison fans the full (behaviour × trial) grid out across one
+// worker pool, so even a single-trial comparison parallelises across
+// behaviours. Results are identical for every worker count.
+func RunTrialComparison(cfg Config, behaviors []protocol.Behavior, topt TrialOptions, warmup, numQueries int, checkpoints []int) *TrialComparison {
+	trials := topt.trials()
+	cmp := &TrialComparison{
+		Cells:       make(map[string]*TrialCell, len(behaviors)),
+		Checkpoints: normalizeCheckpoints(checkpoints, numQueries),
+		Trials:      trials,
+	}
+	seeds := make([]int64, trials)
+	for t := range seeds {
+		seeds[t] = sim.TrialSeed(cfg.Seed, t)
+	}
+	n := len(behaviors) * trials
+	runs := exper.Map(n, topt.Workers, func(j int) *RunResult {
+		c := cfg
+		c.Seed = seeds[j%trials]
+		return NewSimulation(c, behaviors[j/trials]).RunMeasured(warmup, numQueries)
+	})
+	for i, b := range behaviors {
+		cell := &TrialCell{
+			Protocol: b.Name(),
+			Seeds:    seeds,
+			Runs:     runs[i*trials : (i+1)*trials],
+		}
+		cell.Summary = summarize(cell.Runs)
+		cmp.Cells[b.Name()] = cell
+		cmp.Order = append(cmp.Order, b.Name())
+	}
+	return cmp
+}
+
+// FigureSeries extracts a figure's curves with cross-trial error bars: one
+// series per protocol, y = the trial-mean windowed metric at each
+// checkpoint, err = its 95% confidence half-width. With a single trial the
+// means equal the sequential FigureSeries values and no error bars are
+// attached, so tables and CSV render exactly as the unreplicated path.
+func (c *TrialComparison) FigureSeries(fig string) []*stats.Series {
+	var out []*stats.Series
+	for _, name := range c.Order {
+		cell := c.Cells[name]
+		perTrial := make([][]metrics.Window, 0, len(cell.Runs))
+		for _, r := range cell.Runs {
+			perTrial = append(perTrial, r.Collector.Windows(c.Checkpoints))
+		}
+		s := &stats.Series{Name: name}
+		for _, w := range metrics.AggregateWindows(perTrial) {
+			var y stats.Summary
+			switch fig {
+			case Fig2DownloadDistance:
+				y = w.DownloadRTT
+			case Fig3SearchTraffic:
+				y = w.MessagesPerQuery
+			case Fig4SuccessRate:
+				y = w.SuccessRate
+			default:
+				continue
+			}
+			if c.Trials > 1 {
+				s.AddErr(float64(w.End), y.Mean, y.CI95())
+			} else {
+				s.Add(float64(w.End), y.Mean)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Headlines computes the paper's headline claims from trial-mean metrics.
+func (c *TrialComparison) Headlines() Headline {
+	la := c.Cells["Locaware"]
+	fl := c.Cells["Flooding"]
+	di := c.Cells["Dicas"]
+	dk := c.Cells["Dicas-Keys"]
+	var h Headline
+	if la == nil {
+		return h
+	}
+	if fl != nil && di != nil && dk != nil {
+		others := (fl.Summary.DownloadRTT.Mean + di.Summary.DownloadRTT.Mean + dk.Summary.DownloadRTT.Mean) / 3
+		h.DistanceReduction = stats.RelativeChange(others, la.Summary.DownloadRTT.Mean)
+	}
+	if fl != nil {
+		h.TrafficReductionVsFlooding = stats.RelativeChange(
+			fl.Summary.MessagesPerQuery.Mean, la.Summary.MessagesPerQuery.Mean)
+	}
+	if di != nil {
+		h.HitGainVsDicas = stats.RelativeChange(di.Summary.SuccessRate.Mean, la.Summary.SuccessRate.Mean)
+	}
+	if dk != nil {
+		h.HitGainVsDicasKeys = stats.RelativeChange(dk.Summary.SuccessRate.Mean, la.Summary.SuccessRate.Mean)
+	}
+	return h
+}

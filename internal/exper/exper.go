@@ -1,0 +1,67 @@
+// Package exper is the deterministic parallel-execution substrate of the
+// experiment harness. Replicated simulation trials are embarrassingly
+// parallel — every trial owns an isolated engine, world and RNG streams —
+// so the only job of this package is to fan index-addressed work out across
+// a bounded worker pool while keeping results bit-for-bit independent of
+// scheduling: results are written into a slot per index, never appended, so
+// the output order is the input order no matter which worker finishes
+// first.
+package exper
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count against a job count:
+// requested <= 0 means one worker per CPU, and the result is clamped to
+// [1, jobs] so no goroutine ever sits idle.
+func Workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if jobs > 0 && w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers goroutines
+// and returns the results indexed by i. The result slice is identical for
+// any worker count: parallelism changes wall-clock time, never output.
+// workers <= 0 selects runtime.NumCPU(). With one worker the jobs run
+// inline on the calling goroutine in index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"sort"
+
+	"github.com/p2prepro/locaware/internal/stats"
+)
+
+// WindowStats aggregates one checkpoint window across replicated trials:
+// each figure metric becomes a cross-trial sample summary, from which the
+// figure harness draws mean curves with 95% confidence error bars.
+type WindowStats struct {
+	// End is the cumulative query count at the checkpoint (figure x value).
+	End int
+	// DownloadRTT, MessagesPerQuery and SuccessRate summarise the window's
+	// per-trial metric values.
+	DownloadRTT      stats.Summary
+	MessagesPerQuery stats.Summary
+	SuccessRate      stats.Summary
+}
+
+// AggregateWindows merges per-trial window slices into cross-trial
+// summaries, one WindowStats per distinct checkpoint in ascending order.
+// Trials are expected to share a checkpoint grid (they run the same query
+// count); a trial missing a checkpoint simply contributes no sample at it,
+// so ragged inputs degrade to smaller samples instead of failing.
+func AggregateWindows(trials [][]Window) []WindowStats {
+	type samples struct {
+		rtt, mpq, sr []float64
+	}
+	byEnd := map[int]*samples{}
+	var ends []int
+	for _, ws := range trials {
+		for _, w := range ws {
+			s, ok := byEnd[w.End]
+			if !ok {
+				s = &samples{}
+				byEnd[w.End] = s
+				ends = append(ends, w.End)
+			}
+			s.rtt = append(s.rtt, w.DownloadRTT)
+			s.mpq = append(s.mpq, w.MessagesPerQuery)
+			s.sr = append(s.sr, w.SuccessRate)
+		}
+	}
+	sort.Ints(ends)
+	out := make([]WindowStats, 0, len(ends))
+	for _, end := range ends {
+		s := byEnd[end]
+		out = append(out, WindowStats{
+			End:              end,
+			DownloadRTT:      stats.Summarize(s.rtt),
+			MessagesPerQuery: stats.Summarize(s.mpq),
+			SuccessRate:      stats.Summarize(s.sr),
+		})
+	}
+	return out
+}

@@ -120,3 +120,53 @@ func TestCumulativeWindows(t *testing.T) {
 		t.Fatalf("w2 = %+v", ws[2])
 	}
 }
+
+func TestAggregateWindows(t *testing.T) {
+	trial := func(sr, mpq, rtt float64) []Window {
+		return []Window{
+			{End: 50, SuccessRate: sr, MessagesPerQuery: mpq, DownloadRTT: rtt},
+			{End: 100, SuccessRate: sr / 2, MessagesPerQuery: mpq, DownloadRTT: rtt},
+		}
+	}
+	agg := AggregateWindows([][]Window{trial(0.4, 10, 100), trial(0.6, 20, 200)})
+	if len(agg) != 2 {
+		t.Fatalf("aggregated %d checkpoints", len(agg))
+	}
+	if agg[0].End != 50 || agg[1].End != 100 {
+		t.Fatalf("checkpoint order: %+v", agg)
+	}
+	w := agg[0]
+	if w.SuccessRate.N != 2 || w.SuccessRate.Mean != 0.5 {
+		t.Fatalf("success summary = %+v", w.SuccessRate)
+	}
+	if w.MessagesPerQuery.Mean != 15 || w.DownloadRTT.Mean != 150 {
+		t.Fatalf("window summary = %+v", w)
+	}
+	if w.SuccessRate.StdDev == 0 || w.SuccessRate.CI95() == 0 {
+		t.Fatal("two distinct trials must have spread")
+	}
+}
+
+func TestAggregateWindowsRaggedTrials(t *testing.T) {
+	a := []Window{{End: 10, SuccessRate: 1}, {End: 20, SuccessRate: 1}}
+	b := []Window{{End: 10, SuccessRate: 0}} // shorter trial
+	agg := AggregateWindows([][]Window{a, b})
+	if len(agg) != 2 {
+		t.Fatalf("aggregated %d checkpoints", len(agg))
+	}
+	if agg[0].SuccessRate.N != 2 || agg[0].SuccessRate.Mean != 0.5 {
+		t.Fatalf("shared checkpoint = %+v", agg[0].SuccessRate)
+	}
+	if agg[1].SuccessRate.N != 1 || agg[1].SuccessRate.Mean != 1 {
+		t.Fatalf("ragged checkpoint = %+v", agg[1].SuccessRate)
+	}
+}
+
+func TestAggregateWindowsEmpty(t *testing.T) {
+	if got := AggregateWindows(nil); len(got) != 0 {
+		t.Fatalf("AggregateWindows(nil) = %v", got)
+	}
+	if got := AggregateWindows([][]Window{nil, {}}); len(got) != 0 {
+		t.Fatalf("AggregateWindows(empty) = %v", got)
+	}
+}

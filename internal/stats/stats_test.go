@@ -187,3 +187,41 @@ func TestTableMismatchedGrids(t *testing.T) {
 		t.Fatal("empty input should render empty")
 	}
 }
+
+func TestSeriesErrBars(t *testing.T) {
+	s := &Series{Name: "Locaware"}
+	s.Add(10, 0.5) // first point without an error bar
+	s.AddErr(20, 0.6, 0.05)
+	if !s.HasErrs() || len(s.Errs) != 2 || s.Errs[0] != 0 || s.Errs[1] != 0.05 {
+		t.Fatalf("errs = %v", s.Errs)
+	}
+	tbl := Table("queries", []*Series{s})
+	if !strings.Contains(tbl, "0.600±0.050") {
+		t.Fatalf("table missing error bar:\n%s", tbl)
+	}
+	csv := CSV("queries", []*Series{s})
+	if !strings.HasPrefix(csv, "queries,Locaware,Locaware_ci95\n") {
+		t.Fatalf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if !strings.Contains(csv, "20,0.6,0.05") {
+		t.Fatalf("csv missing error column:\n%s", csv)
+	}
+}
+
+func TestErrSeriesMixedWithPlain(t *testing.T) {
+	plain := &Series{Name: "Flooding"}
+	plain.Add(10, 400)
+	errd := &Series{Name: "Locaware"}
+	errd.AddErr(10, 12, 1.5)
+	csv := CSV("queries", []*Series{plain, errd})
+	if !strings.HasPrefix(csv, "queries,Flooding,Locaware,Locaware_ci95\n") {
+		t.Fatalf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if !strings.Contains(csv, "10,400,12,1.5") {
+		t.Fatalf("csv rows:\n%s", csv)
+	}
+	tbl := Table("queries", []*Series{plain, errd})
+	if !strings.Contains(tbl, "400.000") || !strings.Contains(tbl, "12.000±1.500") {
+		t.Fatalf("table rows:\n%s", tbl)
+	}
+}

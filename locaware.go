@@ -20,8 +20,18 @@
 //	if err != nil { ... }
 //	fmt.Println(res.SuccessRate, res.AvgMessagesPerQuery, res.AvgDownloadRTTMs)
 //
-// To regenerate a paper figure, use Compare and FigureTable; see
-// cmd/locaware-exp for the complete harness.
+// Replicated experiments fan independent trials out across the CPUs, each
+// in its own deterministically seeded world, and report mean ± 95% CI for
+// every metric — same seed, same results, at any worker count:
+//
+//	opts.Trials, opts.Workers = 8, 0 // Workers 0 = one per CPU
+//	agg, err := locaware.RunTrials(opts, locaware.ProtocolLocaware, 500, 1000)
+//	if err != nil { ... }
+//	fmt.Println(agg.SuccessRate) // e.g. "0.431±0.012"
+//
+// To regenerate a paper figure, use Compare and FigureTable (single trial)
+// or CompareTrials (replicated, with error bars); see cmd/locaware-exp for
+// the complete harness.
 package locaware
 
 import (
@@ -110,6 +120,15 @@ type Options struct {
 	BloomBits int
 	// Churn enables peer leave/rejoin dynamics.
 	Churn bool
+	// Trials is the number of independent replications RunTrials and
+	// CompareTrials execute per protocol (<= 0 means 1). Trial t runs in
+	// its own simulated world rooted at a seed derived deterministically
+	// from (Seed, t); trial 0 reproduces the single-run Run output exactly.
+	Trials int
+	// Workers bounds how many simulations run concurrently in RunTrials,
+	// CompareTrials and Compare (<= 0 means runtime.NumCPU()). Worker count
+	// never changes results, only wall-clock time.
+	Workers int
 }
 
 // DefaultOptions returns the paper's evaluation setup.
@@ -263,6 +282,34 @@ func newResult(p Protocol, r *core.RunResult) *Result {
 	}
 }
 
+// validateRun checks the shared warmup/queries bounds of every run entry
+// point.
+func validateRun(warmup, queries int) error {
+	if queries <= 0 {
+		return errors.New("locaware: queries must be positive")
+	}
+	if warmup < 0 {
+		return errors.New("locaware: warmup must be non-negative")
+	}
+	return nil
+}
+
+// behaviorsOf lowers a protocol list (nil means Baselines) to behaviours.
+func behaviorsOf(protocols []Protocol) ([]Protocol, []protocol.Behavior, error) {
+	if len(protocols) == 0 {
+		protocols = Baselines()
+	}
+	behaviors := make([]protocol.Behavior, 0, len(protocols))
+	for _, p := range protocols {
+		b, err := p.behavior()
+		if err != nil {
+			return nil, nil, err
+		}
+		behaviors = append(behaviors, b)
+	}
+	return protocols, behaviors, nil
+}
+
 // Run simulates one protocol: warmup queries bring the system to operating
 // temperature (records discarded), then queries are measured.
 func Run(o Options, p Protocol, warmup, queries int) (*Result, error) {
@@ -270,11 +317,8 @@ func Run(o Options, p Protocol, warmup, queries int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if queries <= 0 {
-		return nil, errors.New("locaware: queries must be positive")
-	}
-	if warmup < 0 {
-		return nil, errors.New("locaware: warmup must be non-negative")
+	if err := validateRun(warmup, queries); err != nil {
+		return nil, err
 	}
 	s := core.NewSimulation(o.coreConfig(), b)
 	return newResult(p, s.RunMeasured(warmup, queries)), nil
@@ -312,11 +356,8 @@ func RunTraced(o Options, p Protocol, warmup, queries, maxEvents int) (*Result, 
 	if err != nil {
 		return nil, nil, err
 	}
-	if queries <= 0 {
-		return nil, nil, errors.New("locaware: queries must be positive")
-	}
-	if warmup < 0 {
-		return nil, nil, errors.New("locaware: warmup must be non-negative")
+	if err := validateRun(warmup, queries); err != nil {
+		return nil, nil, err
 	}
 	s := core.NewSimulation(o.coreConfig(), b)
 	buf := trace.NewBuffer(maxEvents)
@@ -354,27 +395,165 @@ type Comparison struct {
 }
 
 // Compare runs each protocol over an identical world and workload.
+// Protocols execute concurrently across at most Options.Workers
+// simulations (<= 0 means one per CPU); results are identical to a
+// sequential loop.
 func Compare(o Options, protocols []Protocol, warmup, queries int, checkpoints []int) (*Comparison, error) {
-	if len(protocols) == 0 {
-		protocols = Baselines()
+	protocols, behaviors, err := behaviorsOf(protocols)
+	if err != nil {
+		return nil, err
 	}
-	behaviors := make([]protocol.Behavior, 0, len(protocols))
-	for _, p := range protocols {
-		b, err := p.behavior()
-		if err != nil {
-			return nil, err
-		}
-		behaviors = append(behaviors, b)
+	if err := validateRun(warmup, queries); err != nil {
+		return nil, err
 	}
-	if queries <= 0 {
-		return nil, errors.New("locaware: queries must be positive")
-	}
-	cmp := core.RunComparison(o.coreConfig(), behaviors, warmup, queries, checkpoints)
+	cmp := core.RunComparisonWorkers(o.coreConfig(), behaviors, o.Workers, warmup, queries, checkpoints)
 	out := &Comparison{cmp: cmp}
 	for i, name := range cmp.Order {
 		out.Results = append(out.Results, newResult(protocols[i], cmp.Results[name]))
 	}
 	return out, nil
+}
+
+// Estimate is a cross-trial sample statistic of one metric: the mean over
+// Options.Trials independent replications with its spread.
+type Estimate struct {
+	// N is the number of trials the estimate pools.
+	N int
+	// Mean, StdDev and CI95 are the sample mean, the sample standard
+	// deviation, and the 95% normal-approximation confidence half-width of
+	// the mean (0 for a single trial).
+	Mean, StdDev, CI95 float64
+}
+
+// String renders the estimate as "mean±ci95", or the bare mean when it
+// pools fewer than two trials (a single number has no spread).
+func (e Estimate) String() string {
+	if e.N < 2 {
+		return fmt.Sprintf("%.3f", e.Mean)
+	}
+	return fmt.Sprintf("%.3f±%.3f", e.Mean, e.CI95)
+}
+
+func toEstimate(s stats.Summary) Estimate {
+	return Estimate{N: s.N, Mean: s.Mean, StdDev: s.StdDev, CI95: s.CI95()}
+}
+
+// TrialsResult summarises one protocol replicated over independent trials.
+type TrialsResult struct {
+	// Protocol is the protocol that produced the result.
+	Protocol Protocol
+	// Trials holds the per-trial summaries in trial order; Trials[0] is
+	// bit-for-bit the result Run would return for the same Options.
+	Trials []*Result
+	// The headline metrics aggregated across trials.
+	SuccessRate         Estimate
+	AvgMessagesPerQuery Estimate
+	AvgDownloadRTTMs    Estimate
+	SameLocalityRate    Estimate
+	CacheHitRate        Estimate
+	AvgHops             Estimate
+	ControlMessages     Estimate
+	ControlKbits        Estimate
+	CachedFilenames     Estimate
+}
+
+func newTrialsResult(p Protocol, cell *core.TrialCell) *TrialsResult {
+	tr := &TrialsResult{
+		Protocol:            p,
+		SuccessRate:         toEstimate(cell.Summary.SuccessRate),
+		AvgMessagesPerQuery: toEstimate(cell.Summary.MessagesPerQuery),
+		AvgDownloadRTTMs:    toEstimate(cell.Summary.DownloadRTT),
+		SameLocalityRate:    toEstimate(cell.Summary.SameLocalityRate),
+		CacheHitRate:        toEstimate(cell.Summary.CacheHitRate),
+		AvgHops:             toEstimate(cell.Summary.Hops),
+		ControlMessages:     toEstimate(cell.Summary.ControlMessages),
+		ControlKbits:        toEstimate(cell.Summary.ControlKbits),
+		CachedFilenames:     toEstimate(cell.Summary.CachedFilenames),
+	}
+	for _, r := range cell.Runs {
+		tr.Trials = append(tr.Trials, newResult(p, r))
+	}
+	return tr
+}
+
+// RunTrials replicates Run over Options.Trials independent simulated worlds
+// on a worker pool bounded by Options.Workers, aggregating the headline
+// metrics into mean ± stddev ± 95% CI estimates. Equal Options always yield
+// identical results regardless of worker count.
+func RunTrials(o Options, p Protocol, warmup, queries int) (*TrialsResult, error) {
+	b, err := p.behavior()
+	if err != nil {
+		return nil, err
+	}
+	if err := validateRun(warmup, queries); err != nil {
+		return nil, err
+	}
+	cell := core.RunTrials(o.coreConfig(), b, core.TrialOptions{Trials: o.Trials, Workers: o.Workers}, warmup, queries)
+	return newTrialsResult(p, cell), nil
+}
+
+// TrialsComparison is a paired multi-protocol, multi-trial experiment:
+// trial t of every protocol shares one world, so each trial is a paired
+// comparison and the figures come with cross-trial error bars.
+type TrialsComparison struct {
+	// Sets holds per-protocol replicated summaries in run order.
+	Sets []*TrialsResult
+	cmp  *core.TrialComparison
+}
+
+// CompareTrials runs Compare over Options.Trials replicated worlds across
+// Options.Workers concurrent simulations. With Trials <= 1 the figure
+// values equal Compare's exactly (with zero-width error bars).
+func CompareTrials(o Options, protocols []Protocol, warmup, queries int, checkpoints []int) (*TrialsComparison, error) {
+	protocols, behaviors, err := behaviorsOf(protocols)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateRun(warmup, queries); err != nil {
+		return nil, err
+	}
+	tc := core.RunTrialComparison(o.coreConfig(), behaviors,
+		core.TrialOptions{Trials: o.Trials, Workers: o.Workers}, warmup, queries, checkpoints)
+	out := &TrialsComparison{cmp: tc}
+	for i, name := range tc.Order {
+		out.Sets = append(out.Sets, newTrialsResult(protocols[i], tc.Cells[name]))
+	}
+	return out, nil
+}
+
+// Set returns the replicated summary for protocol p, or nil if p was not
+// compared.
+func (c *TrialsComparison) Set(p Protocol) *TrialsResult {
+	for _, s := range c.Sets {
+		if s.Protocol == p {
+			return s
+		}
+	}
+	return nil
+}
+
+// FigureSeries returns one curve per protocol for the figure: x = number of
+// queries, y = the trial-mean metric over the window ending there, with a
+// 95% CI half-width per point.
+func (c *TrialsComparison) FigureSeries(f Figure) []*stats.Series {
+	return c.cmp.FigureSeries(string(f))
+}
+
+// FigureTable renders the figure as an aligned text table with mean±ci95
+// cells, one row per checkpoint and one column per protocol.
+func (c *TrialsComparison) FigureTable(f Figure) string {
+	return stats.Table("queries", c.cmp.FigureSeries(string(f)))
+}
+
+// FigureCSV renders the figure as CSV with a <protocol>_ci95 column per
+// protocol for external plotting with error bars.
+func (c *TrialsComparison) FigureCSV(f Figure) string {
+	return stats.CSV("queries", c.cmp.FigureSeries(string(f)))
+}
+
+// Headlines computes the headline claims from trial-mean metrics.
+func (c *TrialsComparison) Headlines() Headlines {
+	return toHeadlines(c.cmp.Headlines())
 }
 
 // Result returns the summary for protocol p, or nil if p was not compared.
@@ -416,15 +595,18 @@ type Headlines struct {
 	HitGainVsDicasKeys         float64
 }
 
-// Headlines computes the headline claims from the comparison.
-func (c *Comparison) Headlines() Headlines {
-	h := c.cmp.Headlines()
+func toHeadlines(h core.Headline) Headlines {
 	return Headlines{
 		DistanceReduction:          h.DistanceReduction,
 		TrafficReductionVsFlooding: h.TrafficReductionVsFlooding,
 		HitGainVsDicas:             h.HitGainVsDicas,
 		HitGainVsDicasKeys:         h.HitGainVsDicasKeys,
 	}
+}
+
+// Headlines computes the headline claims from the comparison.
+func (c *Comparison) Headlines() Headlines {
+	return toHeadlines(c.cmp.Headlines())
 }
 
 // Seconds is a convenience for expressing sim-time quantities in seconds

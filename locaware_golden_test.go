@@ -1,0 +1,97 @@
+package locaware
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenOptions is the fixed golden world: 200 peers, seed 1, accelerated
+// arrivals. Any change to these values invalidates the golden file on
+// purpose — the point is that refactors must not silently drift the
+// numbers behind the paper's figures.
+func goldenOptions() Options {
+	o := DefaultOptions()
+	o.Seed = 1
+	o.Peers = 200
+	o.QueryRate = 0.01
+	return o
+}
+
+// TestGoldenCompareTable locks the fixed-seed Compare output for the
+// paper's Fig. 3 (search traffic) and Fig. 4 (success rate) at 200 peers.
+// A legitimate behaviour change must regenerate the file with
+// `go test -run TestGoldenCompareTable -update .` and justify the diff in
+// review; anything else reproducing this table byte-for-byte is the
+// determinism contract working.
+func TestGoldenCompareTable(t *testing.T) {
+	cmp, err := Compare(goldenOptions(), Baselines(), 100, 200, []int{50, 100, 150, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := "== fig3-search-traffic (messages/query)\n" +
+		cmp.FigureTable(FigureSearchTraffic) +
+		"== fig4-success-rate\n" +
+		cmp.FigureTable(FigureSuccessRate)
+
+	path := filepath.Join("testdata", "golden_compare_200peers.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("figure table drifted from golden file %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenMatchesTrialsPath proves the parallel trials path reproduces
+// the golden numbers: a 1-trial CompareTrials at any worker count must
+// yield the same figure means the golden table locks.
+func TestGoldenMatchesTrialsPath(t *testing.T) {
+	o := goldenOptions()
+	o.Trials = 1
+	o.Workers = 8
+	tc, err := CompareTrials(o, Baselines(), 100, 200, []int{50, 100, 150, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(goldenOptions(), Baselines(), 100, 200, []int{50, 100, 150, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Figure{FigureDownloadDistance, FigureSearchTraffic, FigureSuccessRate} {
+		if tc.FigureTable(f) != cmp.FigureTable(f) {
+			t.Fatalf("%s: single-trial CompareTrials table not byte-identical to Compare's", f)
+		}
+		if tc.FigureCSV(f) != cmp.FigureCSV(f) {
+			t.Fatalf("%s: single-trial CompareTrials csv not byte-identical to Compare's", f)
+		}
+	}
+	for i, ts := range tc.FigureSeries(FigureSuccessRate) {
+		ss := cmp.FigureSeries(FigureSuccessRate)[i]
+		if ts.Name != ss.Name || len(ts.Ys) != len(ss.Ys) {
+			t.Fatalf("series shape mismatch: %s vs %s", ts.Name, ss.Name)
+		}
+		if ts.HasErrs() {
+			t.Fatalf("%s: single trial must render without error bars", ts.Name)
+		}
+		for j := range ts.Ys {
+			if ts.Ys[j] != ss.Ys[j] {
+				t.Fatalf("%s point %d: trials path %v != sequential %v", ts.Name, j, ts.Ys[j], ss.Ys[j])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package locaware
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -238,5 +239,164 @@ func TestLocalitiesReport(t *testing.T) {
 func TestSecondsHelper(t *testing.T) {
 	if Seconds(1.5) != 1500000 {
 		t.Fatalf("Seconds(1.5) = %d", Seconds(1.5))
+	}
+}
+
+func TestRunTrialsSingleTrialMatchesRun(t *testing.T) {
+	o := fastOptions(30)
+	single, err := Run(o, ProtocolLocaware, 20, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Trials = 1
+	agg, err := RunTrials(o, ProtocolLocaware, 20, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Trials) != 1 {
+		t.Fatalf("trials = %d", len(agg.Trials))
+	}
+	if !reflect.DeepEqual(agg.Trials[0], single) {
+		t.Fatalf("Trials=1 diverged from Run:\n%+v\nvs\n%+v", agg.Trials[0], single)
+	}
+	if agg.SuccessRate.Mean != single.SuccessRate || agg.SuccessRate.CI95 != 0 {
+		t.Fatalf("estimate = %+v", agg.SuccessRate)
+	}
+}
+
+func TestRunTrialsWorkerCountInvariant(t *testing.T) {
+	o := fastOptions(31)
+	o.Trials = 4
+	o.Workers = 1
+	a, err := RunTrials(o, ProtocolLocaware, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	b, err := RunTrials(o, ProtocolLocaware, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Workers=1 vs Workers=8 aggregated results differ")
+	}
+}
+
+func TestRunTrialsErrors(t *testing.T) {
+	o := fastOptions(32)
+	if _, err := RunTrials(o, Protocol("bogus"), 0, 10); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := RunTrials(o, ProtocolLocaware, 0, 0); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+	if _, err := RunTrials(o, ProtocolLocaware, -1, 10); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+func TestCompareTrialsDeterministicAcrossWorkers(t *testing.T) {
+	o := fastOptions(33)
+	o.Trials = 3
+	run := func(workers int) *TrialsComparison {
+		oo := o
+		oo.Workers = workers
+		cmp, err := CompareTrials(oo, []Protocol{ProtocolFlooding, ProtocolLocaware}, 10, 40, []int{20, 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp
+	}
+	a, b := run(1), run(8)
+	if !reflect.DeepEqual(a.Sets, b.Sets) {
+		t.Fatal("Sets differ across worker counts")
+	}
+	for _, f := range []Figure{FigureDownloadDistance, FigureSearchTraffic, FigureSuccessRate} {
+		if a.FigureTable(f) != b.FigureTable(f) {
+			t.Fatalf("%s table differs across worker counts", f)
+		}
+		if a.FigureCSV(f) != b.FigureCSV(f) {
+			t.Fatalf("%s csv differs across worker counts", f)
+		}
+	}
+}
+
+func TestCompareTrialsFiguresAndHeadlines(t *testing.T) {
+	o := fastOptions(34)
+	o.Trials = 2
+	cmp, err := CompareTrials(o, nil, 20, 60, []int{30, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Sets) != 4 {
+		t.Fatalf("sets = %d", len(cmp.Sets))
+	}
+	if cmp.Set(ProtocolLocaware) == nil || cmp.Set(ProtocolLocawareLR) != nil {
+		t.Fatal("Set lookup broken")
+	}
+	tbl := cmp.FigureTable(FigureSuccessRate)
+	if !strings.Contains(tbl, "±") {
+		t.Fatalf("table missing error bars:\n%s", tbl)
+	}
+	csv := cmp.FigureCSV(FigureSuccessRate)
+	if !strings.Contains(csv, "Locaware_ci95") {
+		t.Fatalf("csv missing ci column: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	series := cmp.FigureSeries(FigureSearchTraffic)
+	if len(series) != 4 || !series[0].HasErrs() {
+		t.Fatal("series missing error bars")
+	}
+	h := cmp.Headlines()
+	if h.TrafficReductionVsFlooding >= 0 {
+		t.Fatalf("traffic reduction = %v, want negative", h.TrafficReductionVsFlooding)
+	}
+	for _, set := range cmp.Sets {
+		if set.SuccessRate.N != 2 || len(set.Trials) != 2 {
+			t.Fatalf("%s: %+v", set.Protocol, set.SuccessRate)
+		}
+	}
+}
+
+func TestCompareTrialsErrors(t *testing.T) {
+	o := fastOptions(35)
+	if _, err := CompareTrials(o, []Protocol{"nope"}, 0, 10, nil); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := CompareTrials(o, nil, 0, 0, nil); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+	if _, err := CompareTrials(o, nil, -1, 10, nil); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	e := Estimate{N: 8, Mean: 0.431, StdDev: 0.02, CI95: 0.014}
+	if e.String() != "0.431±0.014" {
+		t.Fatalf("Estimate.String() = %q", e.String())
+	}
+}
+
+func TestEstimateStringSingleTrial(t *testing.T) {
+	e := Estimate{N: 1, Mean: 0.431}
+	if e.String() != "0.431" {
+		t.Fatalf("single-trial Estimate.String() = %q, want bare mean", e.String())
+	}
+}
+
+func TestCompareHonorsWorkers(t *testing.T) {
+	o := fastOptions(36)
+	o.Workers = 1
+	a, err := Compare(o, []Protocol{ProtocolFlooding, ProtocolLocaware}, 10, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	b, err := Compare(o, []Protocol{ProtocolFlooding, ProtocolLocaware}, 10, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Results, b.Results) {
+		t.Fatal("Compare results differ across worker counts")
 	}
 }
