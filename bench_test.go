@@ -191,3 +191,27 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(r.Events), "events")
 	}
 }
+
+// BenchmarkScale20kPeers is the scale smoke lock behind the streaming
+// metrics pipeline: a 20000-peer Locaware run end to end (world build +
+// 500 measured queries) with allocation reporting. The streaming collector
+// and pooled hot path keep the per-query allocation cost flat as the
+// overlay grows; regressions show up here as a jump in allocs/op long
+// before they OOM a 100k-peer experiment.
+func BenchmarkScale20kPeers(b *testing.B) {
+	o := DefaultOptions()
+	o.Seed = 1
+	o.Peers = 20000
+	o.QueryRate = 0.002
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(o, ProtocolLocaware, 0, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Queries != 500 {
+			b.Fatalf("measured %d queries", r.Queries)
+		}
+		b.ReportMetric(float64(r.Events), "events")
+	}
+}

@@ -31,24 +31,44 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	locaware "github.com/p2prepro/locaware"
 )
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure to regenerate: 2|3|4|all")
-		ablation = flag.String("ablation", "", "ablation: landmarks|cachesize|bloom|groups")
-		ext      = flag.String("extension", "", "extension: lr|churn")
-		peers    = flag.Int("peers", 1000, "number of peers")
-		warmup   = flag.Int("warmup", 1000, "warmup queries")
-		queries  = flag.Int("queries", 2000, "measured queries")
-		seed     = flag.Int64("seed", 1, "random seed")
-		trials   = flag.Int("trials", 1, "independent replications per experiment cell")
-		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = one per CPU)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fig        = flag.String("fig", "", "figure to regenerate: 2|3|4|all")
+		ablation   = flag.String("ablation", "", "ablation: landmarks|cachesize|bloom|groups")
+		ext        = flag.String("extension", "", "extension: lr|churn")
+		peers      = flag.Int("peers", 1000, "number of peers")
+		warmup     = flag.Int("warmup", 1000, "warmup queries")
+		queries    = flag.Int("queries", 2000, "measured queries")
+		seed       = flag.Int64("seed", 1, "random seed")
+		trials     = flag.Int("trials", 1, "independent replications per experiment cell")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = one per CPU)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuProfileFile = f
+		defer stopProfiles()
+	}
+	if *memprofile != "" {
+		memProfilePath = *memprofile
+		defer stopProfiles()
+	}
 
 	opts := locaware.DefaultOptions()
 	opts.Seed = *seed
@@ -209,7 +229,39 @@ func mustTrials(o locaware.Options, p locaware.Protocol, warmup, queries int) *l
 	return r
 }
 
+// cpuProfileFile / memProfilePath hold the active profiling state so
+// stopProfiles can finish both profiles exactly once — on the normal defer
+// path and in fatal, which would otherwise os.Exit past the defers and
+// leave a truncated CPU profile and no heap profile.
+var (
+	cpuProfileFile *os.File
+	memProfilePath string
+)
+
+func stopProfiles() {
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+		cpuProfileFile = nil
+	}
+	if memProfilePath != "" {
+		path := memProfilePath
+		memProfilePath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locaware-exp: heap profile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the profile shows live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "locaware-exp: heap profile:", err)
+		}
+	}
+}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "locaware-exp:", err)
 	os.Exit(1)
 }

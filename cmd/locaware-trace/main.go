@@ -23,6 +23,7 @@ func main() {
 		query     = flag.Uint64("query", 0, "print only this query id (0 = all)")
 		maxEvents = flag.Int("max-events", 20000, "trace buffer capacity")
 		gossip    = flag.Bool("gossip", false, "include Bloom gossip events")
+		records   = flag.Bool("records", false, "print the per-query record table (full-fidelity RetainRecords mode)")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -31,6 +32,9 @@ func main() {
 	opts.Seed = *seed
 	opts.Peers = *peers
 	opts.QueryRate = 0.01 // accelerate so traces cover little virtual time
+	// Tracing is the full-fidelity path: keep per-query records so the
+	// event stream can be cross-checked against each query's final outcome.
+	opts.RetainRecords = *records
 
 	res, events, err := locaware.RunTraced(opts, locaware.Protocol(*protoName), *warmup, *queries, *maxEvents)
 	if err != nil {
@@ -48,6 +52,20 @@ func main() {
 		}
 		fmt.Println(e)
 		printed++
+	}
+	if *records {
+		fmt.Printf("\n%-6s %-8s %-8s %10s %8s %8s %6s\n", "query", "success", "msgs", "rtt(ms)", "sameLoc", "cached", "hops")
+		for _, r := range res.Records {
+			// Record IDs restart at 1 for the measured phase while trace
+			// events number queries network-wide (warmup included); offset
+			// so -query selects the same query in both views.
+			qid := r.ID + uint64(*warmup)
+			if *query != 0 && qid != *query {
+				continue
+			}
+			fmt.Printf("%-6d %-8v %-8d %10.1f %8v %8v %6d\n",
+				qid, r.Success, r.Messages, r.DownloadRTTMs, r.SameLocality, r.FromCache, r.Hops)
+		}
 	}
 	fmt.Printf("\n%d events shown; run summary: success=%.3f msgs/query=%.1f rtt=%.1fms\n",
 		printed, res.SuccessRate, res.AvgMessagesPerQuery, res.AvgDownloadRTTMs)

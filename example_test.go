@@ -3,6 +3,7 @@ package locaware_test
 import (
 	"fmt"
 	"log"
+	"reflect"
 
 	locaware "github.com/p2prepro/locaware"
 )
@@ -46,7 +47,7 @@ func ExampleRunTrials() {
 	fmt.Println("pooled trials per estimate:", agg.SuccessRate.N)
 	fmt.Println("first trial matches locaware.Run:", func() bool {
 		one, err := locaware.Run(opts, locaware.ProtocolLocaware, 100, 200)
-		return err == nil && *one == *agg.Trials[0]
+		return err == nil && reflect.DeepEqual(one, agg.Trials[0])
 	}())
 	fmt.Println("independent trials spread:", agg.AvgMessagesPerQuery.StdDev > 0)
 	// Output:

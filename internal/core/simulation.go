@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/p2prepro/locaware/internal/metrics"
@@ -104,7 +105,8 @@ func NewSimulation(cfg Config, b protocol.Behavior) *Simulation {
 type RunResult struct {
 	// Protocol is the behaviour's name.
 	Protocol string
-	// Collector holds every per-query record.
+	// Collector holds the run's streamed metric accumulators (and, in
+	// RetainRecords mode only, the full per-query record stream).
 	Collector *metrics.Collector
 	// ControlMessages / ControlBits account Bloom gossip traffic
 	// separately from search traffic, as the paper does.
@@ -134,32 +136,54 @@ func (s *Simulation) Run(numQueries int) *RunResult {
 // measured queries. Warmup queries execute with full protocol effect but
 // their records are discarded: only the measured phase appears in the
 // returned result.
+//
+// Arrivals are streamed: each submission event generates and schedules its
+// successor, so the engine queue holds O(in-flight) events instead of the
+// whole workload — a million-query run no longer materialises a
+// million-entry schedule up front. The generator's RNG is consumed in the
+// same sequential order as the old bulk schedule, so results are unchanged.
 func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 	total := warmup + measured
 	if total <= 0 {
 		panic("core: RunMeasured needs at least one query")
 	}
-	events := s.gen.Take(total)
-	for i, ev := range events {
-		ev := ev
+	var deadline sim.Time
+	var schedule func(i int, ev workload.QueryEvent)
+	schedule = func(i int, ev workload.QueryEvent) {
 		if i == warmup && warmup > 0 {
 			// Swap the collector just before the first measured query;
 			// in-flight warmup queries keep finalising into the old one.
-			at := ev.At - 1
-			if _, err := s.Engine.ScheduleAt(at, func(*sim.Engine) {
+			if at := ev.At - 1; at < s.Engine.Now() {
+				s.Network.ResetCollector()
+			} else if err := s.Engine.PostAt(at, func(*sim.Engine) {
 				s.Network.ResetCollector()
 			}); err != nil {
 				panic(fmt.Sprintf("core: scheduling collector reset: %v", err))
 			}
 		}
-		if _, err := s.Engine.ScheduleAt(ev.At, func(*sim.Engine) {
+		if err := s.Engine.PostAt(ev.At, func(*sim.Engine) {
 			s.Network.SubmitQuery(overlay.PeerID(ev.Requester), ev.Q)
+			if i+1 < total {
+				schedule(i+1, s.gen.Next())
+			}
 		}); err != nil {
 			panic(fmt.Sprintf("core: scheduling query: %v", err))
 		}
+		if i == total-1 {
+			// The last arrival fixes the run deadline; the horizon drops
+			// anything scheduled beyond it (periodic controls, long tails).
+			deadline = ev.At + s.Cfg.Protocol.FinalizeAfter + sim.Minute
+			s.Engine.SetHorizon(deadline)
+		}
 	}
-	deadline := events[len(events)-1].At + s.Cfg.Protocol.FinalizeAfter + sim.Minute
-	s.Engine.SetHorizon(deadline)
+	schedule(0, s.gen.Next())
+	// Step until the last arrival has been generated (deadline known), then
+	// run the tail out in one call.
+	for deadline == 0 {
+		if s.Engine.RunUntil(sim.Time(math.MaxInt64), 1) == 0 {
+			panic("core: engine drained before the workload completed")
+		}
+	}
 	s.Engine.RunUntil(deadline, 0)
 	s.Network.FlushPending()
 

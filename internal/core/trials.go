@@ -147,6 +147,10 @@ func RunTrialComparison(cfg Config, behaviors []protocol.Behavior, topt TrialOpt
 	runs := exper.Map(n, topt.Workers, func(j int) *RunResult {
 		c := cfg
 		c.Seed = seeds[j%trials]
+		// Thread the figure grid into the run so windows are sealed by the
+		// streaming collector during execution instead of replayed from
+		// records afterwards. The slice is shared read-only across trials.
+		c.Protocol.Collector.Checkpoints = cmp.Checkpoints
 		return NewSimulation(c, behaviors[j/trials]).RunMeasured(warmup, numQueries)
 	})
 	for i, b := range behaviors {

@@ -19,25 +19,60 @@ type Keyword string
 
 // Filename is a file's name, decomposed into its keywords ("filenames are
 // broken into keywords following predefined rules", §3.1). The canonical
-// string form joins the sorted keywords with underscores.
+// string form joins the sorted keywords with underscores; it is computed
+// once at construction because the simulator hot path keys storage and
+// caches by it on every hit and reverse-path hop.
 type Filename struct {
-	kws []Keyword
+	kws  []Keyword
+	name string
 }
 
 // NewFilename builds a filename from keywords, deduplicating and sorting
 // them so equal keyword sets compare equal.
 func NewFilename(kws ...Keyword) Filename {
-	seen := make(map[Keyword]bool, len(kws))
 	out := make([]Keyword, 0, len(kws))
+outer:
 	for _, k := range kws {
-		if k == "" || seen[k] {
+		if k == "" {
 			continue
 		}
-		seen[k] = true
+		for _, have := range out {
+			if have == k {
+				continue outer
+			}
+		}
 		out = append(out, k)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return Filename{kws: out}
+	// Insertion sort: filenames hold a handful of keywords and a manual
+	// sort avoids sort.Slice's reflection swapper allocation.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return Filename{kws: out, name: joinKeywords(out)}
+}
+
+func joinKeywords(kws []Keyword) string {
+	switch len(kws) {
+	case 0:
+		return ""
+	case 1:
+		return string(kws[0])
+	}
+	n := len(kws) - 1
+	for _, k := range kws {
+		n += len(k)
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, k := range kws {
+		if i > 0 {
+			b.WriteByte('_')
+		}
+		b.WriteString(string(k))
+	}
+	return b.String()
 }
 
 // ParseFilename tokenises a canonical filename string back into keywords —
@@ -64,14 +99,13 @@ func (f Filename) Keywords() []Keyword {
 // K returns the number of keywords in the filename.
 func (f Filename) K() int { return len(f.kws) }
 
-// String returns the canonical filename string.
-func (f Filename) String() string {
-	parts := make([]string, len(f.kws))
-	for i, k := range f.kws {
-		parts[i] = string(k)
-	}
-	return strings.Join(parts, "_")
-}
+// KeywordAt returns the i-th keyword in canonical order without copying
+// the keyword slice (the allocation-free counterpart of Keywords).
+func (f Filename) KeywordAt(i int) Keyword { return f.kws[i] }
+
+// String returns the canonical filename string (precomputed at
+// construction, so calls are allocation-free).
+func (f Filename) String() string { return f.name }
 
 // Contains reports whether the filename contains keyword k.
 func (f Filename) Contains(k Keyword) bool {

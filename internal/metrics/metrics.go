@@ -6,14 +6,22 @@
 //   - success rate — satisfied queries / submitted queries.
 //
 // Each figure plots its metric against the number of queries submitted, so
-// the collector both accumulates per-query records and exposes windowed
-// series keyed by cumulative query count.
+// the collector exposes windowed series keyed by cumulative query count.
+//
+// The collector is a streaming accumulator: every metric is maintained as a
+// constant-size set of running sums and counters, and the per-checkpoint
+// figure windows are sealed incrementally as the query count crosses each
+// checkpoint. Collector state is therefore O(checkpoints), not O(queries),
+// which is what lets a million-query run fit in memory. Full per-query
+// records are available as an opt-in (CollectorConfig.RetainRecords) for
+// trace tooling and ad-hoc replay; the streaming outputs are bit-identical
+// to a replay over the retained records because both accumulate the same
+// float64 sums in the same submission order.
 package metrics
 
 import (
 	"fmt"
-
-	"github.com/p2prepro/locaware/internal/stats"
+	"slices"
 )
 
 // QueryRecord is the outcome of one query.
@@ -38,113 +46,200 @@ type QueryRecord struct {
 	Hops int
 }
 
-// Collector accumulates query records for one protocol run.
-type Collector struct {
-	records []QueryRecord
-	// messages counts all messages, including those of unanswered queries.
-	totalMessages uint64
+// CollectorConfig configures the measurement plane of one run.
+type CollectorConfig struct {
+	// Checkpoints is the ascending list of cumulative query counts at which
+	// figure windows are sealed. With checkpoints configured, Windows and
+	// CumulativeWindows are served from streaming accumulators sealed during
+	// the run; without them (and without RetainRecords) only the whole-run
+	// scalar metrics are available.
+	Checkpoints []int
+	// RetainRecords keeps the full per-query record stream in memory, so
+	// Records() works and Windows/CumulativeWindows accept arbitrary
+	// checkpoint lists (replayed from the records). This is the
+	// full-fidelity trace mode; memory grows O(queries).
+	RetainRecords bool
 }
 
-// NewCollector returns an empty collector.
-func NewCollector() *Collector { return &Collector{} }
+// windowAcc is the constant-size accumulator of one in-progress figure
+// window. Sums are accumulated in submission order so sealed values are
+// bit-identical to a replay over the same records.
+type windowAcc struct {
+	messages  int
+	successes int
+	rttSum    float64
+}
 
-// Record appends a query outcome.
+// Collector accumulates query outcomes for one protocol run as O(1)
+// streaming sums. It optionally retains full records (RetainRecords).
+type Collector struct {
+	cfg CollectorConfig
+
+	// Whole-run streaming accumulators.
+	submitted     int
+	totalMessages uint64
+	successes     int
+	rttSum        float64
+	sameLocality  int
+	fromCache     int
+	hopsSum       float64
+
+	// Sealed per-checkpoint windows; nextCk indexes the first unsealed
+	// checkpoint and win accumulates the window in progress.
+	sealed    []Window
+	cumSealed []Window
+	nextCk    int
+	win       windowAcc
+
+	// records is populated only in RetainRecords mode.
+	records []QueryRecord
+}
+
+// NewCollector returns an empty streaming collector with no checkpoint grid
+// and no record retention: all whole-run scalar metrics work in O(1) state,
+// but Windows/CumulativeWindows need a grid (see NewCollectorWith).
+func NewCollector() *Collector { return NewCollectorWith(CollectorConfig{}) }
+
+// NewCollectorWith returns an empty collector for the given configuration.
+// Checkpoints must be ascending and positive; out-of-order entries panic,
+// since a misordered grid would silently corrupt every figure.
+func NewCollectorWith(cfg CollectorConfig) *Collector {
+	prev := 0
+	for _, ck := range cfg.Checkpoints {
+		if ck <= prev {
+			panic(fmt.Sprintf("metrics: checkpoints must be ascending and positive, got %v", cfg.Checkpoints))
+		}
+		prev = ck
+	}
+	c := &Collector{cfg: cfg}
+	if n := len(cfg.Checkpoints); n > 0 {
+		c.sealed = make([]Window, 0, n)
+		c.cumSealed = make([]Window, 0, n)
+	}
+	return c
+}
+
+// Config returns the collector's configuration.
+func (c *Collector) Config() CollectorConfig { return c.cfg }
+
+// Record folds a query outcome into the running sums (and stores it when
+// records are retained).
 func (c *Collector) Record(r QueryRecord) {
-	r.ID = uint64(len(c.records) + 1)
-	c.records = append(c.records, r)
+	c.submitted++
+	r.ID = uint64(c.submitted)
 	c.totalMessages += uint64(r.Messages)
+	c.win.messages += r.Messages
+	if r.Success {
+		c.successes++
+		c.rttSum += r.DownloadRTT
+		c.hopsSum += float64(r.Hops)
+		c.win.successes++
+		c.win.rttSum += r.DownloadRTT
+		if r.SameLocality {
+			c.sameLocality++
+		}
+		if r.FromCache {
+			c.fromCache++
+		}
+	}
+	if c.cfg.RetainRecords {
+		c.records = append(c.records, r)
+	}
+	// Seal the window if this query is the next checkpoint.
+	if c.nextCk < len(c.cfg.Checkpoints) && c.submitted == c.cfg.Checkpoints[c.nextCk] {
+		c.seal()
+	}
+}
+
+// seal closes the in-progress window at the current query count and
+// snapshots the cumulative metrics at the same point.
+func (c *Collector) seal() {
+	prev := 0
+	if n := len(c.sealed); n > 0 {
+		prev = c.sealed[n-1].End
+	}
+	n := c.submitted - prev
+	c.sealed = append(c.sealed, Window{
+		End:              c.submitted,
+		MessagesPerQuery: float64(c.win.messages) / float64(n),
+		SuccessRate:      float64(c.win.successes) / float64(n),
+		DownloadRTT:      meanOrZero(c.win.rttSum, c.win.successes),
+	})
+	c.cumSealed = append(c.cumSealed, Window{
+		End:              c.submitted,
+		MessagesPerQuery: float64(c.totalMessages) / float64(c.submitted),
+		SuccessRate:      float64(c.successes) / float64(c.submitted),
+		DownloadRTT:      meanOrZero(c.rttSum, c.successes),
+	})
+	c.win = windowAcc{}
+	c.nextCk++
+}
+
+func meanOrZero(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // Submitted returns the number of queries recorded.
-func (c *Collector) Submitted() int { return len(c.records) }
+func (c *Collector) Submitted() int { return c.submitted }
 
 // TotalMessages returns the total message count across all queries.
 func (c *Collector) TotalMessages() uint64 { return c.totalMessages }
 
 // SuccessRate returns satisfied/submitted over the whole run.
 func (c *Collector) SuccessRate() float64 {
-	if len(c.records) == 0 {
+	if c.submitted == 0 {
 		return 0
 	}
-	succ := 0
-	for _, r := range c.records {
-		if r.Success {
-			succ++
-		}
-	}
-	return float64(succ) / float64(len(c.records))
+	return float64(c.successes) / float64(c.submitted)
 }
 
 // AvgMessagesPerQuery returns mean messages per query over the whole run.
 func (c *Collector) AvgMessagesPerQuery() float64 {
-	if len(c.records) == 0 {
+	if c.submitted == 0 {
 		return 0
 	}
-	return float64(c.totalMessages) / float64(len(c.records))
+	return float64(c.totalMessages) / float64(c.submitted)
 }
 
 // AvgDownloadRTT returns the mean download distance over successful
 // queries.
 func (c *Collector) AvgDownloadRTT() float64 {
-	var xs []float64
-	for _, r := range c.records {
-		if r.Success {
-			xs = append(xs, r.DownloadRTT)
-		}
-	}
-	return stats.Mean(xs)
+	return meanOrZero(c.rttSum, c.successes)
 }
 
 // SameLocalityRate returns the fraction of successful downloads served from
 // the requester's own locality.
 func (c *Collector) SameLocalityRate() float64 {
-	succ, same := 0, 0
-	for _, r := range c.records {
-		if r.Success {
-			succ++
-			if r.SameLocality {
-				same++
-			}
-		}
-	}
-	if succ == 0 {
+	if c.successes == 0 {
 		return 0
 	}
-	return float64(same) / float64(succ)
+	return float64(c.sameLocality) / float64(c.successes)
 }
 
 // CacheHitRate returns the fraction of successful queries answered from a
 // response index rather than shared storage — how much work index caching
 // is actually doing.
 func (c *Collector) CacheHitRate() float64 {
-	succ, cached := 0, 0
-	for _, r := range c.records {
-		if r.Success {
-			succ++
-			if r.FromCache {
-				cached++
-			}
-		}
-	}
-	if succ == 0 {
+	if c.successes == 0 {
 		return 0
 	}
-	return float64(cached) / float64(succ)
+	return float64(c.fromCache) / float64(c.successes)
 }
 
 // AvgHops returns mean hops-to-hit over successful queries.
 func (c *Collector) AvgHops() float64 {
-	var xs []float64
-	for _, r := range c.records {
-		if r.Success {
-			xs = append(xs, float64(r.Hops))
-		}
-	}
-	return stats.Mean(xs)
+	return meanOrZero(c.hopsSum, c.successes)
 }
 
-// Records returns a copy of all query records.
+// Records returns a copy of all query records, or nil unless the collector
+// was built with RetainRecords.
 func (c *Collector) Records() []QueryRecord {
+	if !c.cfg.RetainRecords {
+		return nil
+	}
 	out := make([]QueryRecord, len(c.records))
 	copy(out, c.records)
 	return out
@@ -163,61 +258,124 @@ type Window struct {
 	SuccessRate float64
 }
 
-// Windows slices the record stream at the given cumulative-count
-// checkpoints (ascending). Checkpoints beyond the recorded count are
-// dropped.
+// Windows slices the query stream at the given cumulative-count checkpoints
+// (ascending). A checkpoint beyond the recorded count yields one partial
+// final window covering the queries since the last full checkpoint, with
+// End set to the actual recorded count — a short run truncates the figure's
+// x axis instead of silently losing its last row.
+//
+// With a configured checkpoint grid the windows are served from the
+// accumulators sealed during the run and checkpoints must equal the
+// configured grid; any other list requires RetainRecords (replayed from the
+// record stream) and panics otherwise.
 func (c *Collector) Windows(checkpoints []int) []Window {
+	if len(c.cfg.Checkpoints) > 0 && slices.Equal(checkpoints, c.cfg.Checkpoints) {
+		// Copy out (as Records does): the sealed slice is live collector
+		// state and the run may seal further windows after this call.
+		out := append(make([]Window, 0, len(c.sealed)+1), c.sealed...)
+		// Partial final window: queries recorded past the last sealed
+		// checkpoint, with at least one unmet checkpoint remaining.
+		if c.nextCk < len(c.cfg.Checkpoints) {
+			prev := 0
+			if n := len(out); n > 0 {
+				prev = out[n-1].End
+			}
+			if c.submitted > prev {
+				out = append(out, Window{
+					End:              c.submitted,
+					MessagesPerQuery: float64(c.win.messages) / float64(c.submitted-prev),
+					SuccessRate:      float64(c.win.successes) / float64(c.submitted-prev),
+					DownloadRTT:      meanOrZero(c.win.rttSum, c.win.successes),
+				})
+			}
+		}
+		return out
+	}
+	if !c.cfg.RetainRecords {
+		panic("metrics: Windows with an ad-hoc checkpoint list requires RetainRecords or the configured grid")
+	}
+	return c.replayWindows(checkpoints)
+}
+
+// replayWindows computes windows from the retained record stream. It is the
+// reference implementation the streaming path must match bit-for-bit.
+func (c *Collector) replayWindows(checkpoints []int) []Window {
 	var out []Window
 	prev := 0
 	for _, end := range checkpoints {
+		partial := false
 		if end > len(c.records) {
-			break
+			// Truncated run: close a partial final window over what was
+			// actually recorded, then stop.
+			end = len(c.records)
+			partial = true
 		}
 		if end <= prev {
+			if partial {
+				break
+			}
 			continue
 		}
 		w := Window{End: end}
-		var msgs, succ int
-		var rtts []float64
+		var acc windowAcc
 		for _, r := range c.records[prev:end] {
-			msgs += r.Messages
+			acc.messages += r.Messages
 			if r.Success {
-				succ++
-				rtts = append(rtts, r.DownloadRTT)
+				acc.successes++
+				acc.rttSum += r.DownloadRTT
 			}
 		}
 		n := end - prev
-		w.MessagesPerQuery = float64(msgs) / float64(n)
-		w.SuccessRate = float64(succ) / float64(n)
-		w.DownloadRTT = stats.Mean(rtts)
+		w.MessagesPerQuery = float64(acc.messages) / float64(n)
+		w.SuccessRate = float64(acc.successes) / float64(n)
+		w.DownloadRTT = meanOrZero(acc.rttSum, acc.successes)
 		out = append(out, w)
 		prev = end
+		if partial {
+			break
+		}
 	}
 	return out
 }
 
 // CumulativeWindows computes the metrics over queries [0, end] for each
 // checkpoint — the "effect of the number of queries" presentation used in
-// the paper's figures.
+// the paper's figures. Checkpoints beyond the recorded count are dropped
+// (the cumulative value at a never-reached count does not exist); this is
+// the documented truncation contract.
+//
+// The same grid rule as Windows applies: the configured checkpoint grid is
+// served from sealed accumulators, anything else requires RetainRecords.
 func (c *Collector) CumulativeWindows(checkpoints []int) []Window {
+	if len(c.cfg.Checkpoints) > 0 && slices.Equal(checkpoints, c.cfg.Checkpoints) {
+		return append([]Window(nil), c.cumSealed...)
+	}
+	if !c.cfg.RetainRecords {
+		panic("metrics: CumulativeWindows with an ad-hoc checkpoint list requires RetainRecords or the configured grid")
+	}
+	return c.replayCumulativeWindows(checkpoints)
+}
+
+// replayCumulativeWindows is the record-replay reference for
+// CumulativeWindows.
+func (c *Collector) replayCumulativeWindows(checkpoints []int) []Window {
 	var out []Window
 	for _, end := range checkpoints {
 		if end > len(c.records) || end <= 0 {
 			continue
 		}
 		w := Window{End: end}
-		var msgs, succ int
-		var rtts []float64
+		var acc windowAcc
 		for _, r := range c.records[:end] {
-			msgs += r.Messages
+			acc.messages += r.Messages
 			if r.Success {
-				succ++
-				rtts = append(rtts, r.DownloadRTT)
+				acc.successes++
+				acc.rttSum += r.DownloadRTT
 			}
 		}
-		w.MessagesPerQuery = float64(msgs) / float64(end)
-		w.SuccessRate = float64(succ) / float64(end)
-		w.DownloadRTT = stats.Mean(rtts)
+		w.MessagesPerQuery = float64(acc.messages) / float64(end)
+		w.SuccessRate = float64(acc.successes) / float64(end)
+		w.DownloadRTT = meanOrZero(acc.rttSum, acc.successes)
 		out = append(out, w)
 	}
 	return out

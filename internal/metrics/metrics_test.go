@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"math/rand"
+	"reflect"
+	"slices"
 	"testing"
 )
 
@@ -8,8 +11,13 @@ func rec(msgs int, success bool, rtt float64, same bool, hops int) QueryRecord {
 	return QueryRecord{Messages: msgs, Success: success, DownloadRTT: rtt, SameLocality: same, Hops: hops}
 }
 
+// retaining returns a full-fidelity collector (record replay mode).
+func retaining() *Collector {
+	return NewCollectorWith(CollectorConfig{RetainRecords: true})
+}
+
 func TestRecordAndAggregates(t *testing.T) {
-	c := NewCollector()
+	c := NewCollector() // pure streaming: scalar metrics need no records
 	c.Record(rec(10, true, 100, true, 2))
 	c.Record(rec(20, false, 0, false, 0))
 	c.Record(rec(30, true, 200, false, 4))
@@ -38,21 +46,24 @@ func TestRecordAndAggregates(t *testing.T) {
 	if c.String() == "" {
 		t.Fatal("empty String")
 	}
+	if c.Records() != nil {
+		t.Fatal("streaming collector must not retain records")
+	}
 }
 
 func TestEmptyCollector(t *testing.T) {
-	c := NewCollector()
+	c := retaining()
 	if c.SuccessRate() != 0 || c.AvgMessagesPerQuery() != 0 || c.AvgDownloadRTT() != 0 ||
 		c.SameLocalityRate() != 0 || c.AvgHops() != 0 {
 		t.Fatal("empty collector should return zeros")
 	}
 	if len(c.Windows([]int{10})) != 0 {
-		t.Fatal("windows beyond records should be empty")
+		t.Fatal("windows over zero records should be empty")
 	}
 }
 
 func TestRecordAssignsSequentialIDs(t *testing.T) {
-	c := NewCollector()
+	c := retaining()
 	for i := 0; i < 5; i++ {
 		c.Record(rec(1, true, 1, false, 1))
 	}
@@ -69,7 +80,7 @@ func TestRecordAssignsSequentialIDs(t *testing.T) {
 }
 
 func TestWindows(t *testing.T) {
-	c := NewCollector()
+	c := retaining()
 	// 10 queries: first 5 succeed with rtt 100 and 10 msgs, last 5 fail
 	// with 50 msgs.
 	for i := 0; i < 5; i++ {
@@ -91,18 +102,57 @@ func TestWindows(t *testing.T) {
 }
 
 func TestWindowsSkipsBadCheckpoints(t *testing.T) {
-	c := NewCollector()
+	c := retaining()
 	for i := 0; i < 4; i++ {
 		c.Record(rec(1, true, 1, false, 1))
 	}
+	// Duplicates and non-ascending entries are skipped; the trailing 99
+	// clamps to the recorded count (4), which is already covered, so no
+	// partial window appears.
 	ws := c.Windows([]int{2, 2, 1, 4, 99})
 	if len(ws) != 2 || ws[0].End != 2 || ws[1].End != 4 {
 		t.Fatalf("windows = %+v", ws)
 	}
 }
 
+// TestWindowsPartialFinal locks the truncation contract: a checkpoint
+// beyond the recorded count yields a partial final window ending at the
+// actual count instead of silently dropping the figure's last row.
+func TestWindowsPartialFinal(t *testing.T) {
+	c := retaining()
+	for i := 0; i < 5; i++ {
+		c.Record(rec(10, true, 100, true, 1))
+	}
+	for i := 0; i < 2; i++ {
+		c.Record(rec(40, false, 0, false, 0))
+	}
+	ws := c.Windows([]int{5, 10})
+	if len(ws) != 2 {
+		t.Fatalf("windows = %+v", ws)
+	}
+	if ws[1].End != 7 || ws[1].MessagesPerQuery != 40 || ws[1].SuccessRate != 0 {
+		t.Fatalf("partial final window = %+v", ws[1])
+	}
+
+	// The same truncated run served by the streaming path must agree.
+	s := NewCollectorWith(CollectorConfig{Checkpoints: []int{5, 10}})
+	for i := 0; i < 5; i++ {
+		s.Record(rec(10, true, 100, true, 1))
+	}
+	for i := 0; i < 2; i++ {
+		s.Record(rec(40, false, 0, false, 0))
+	}
+	if got := s.Windows([]int{5, 10}); !reflect.DeepEqual(got, ws) {
+		t.Fatalf("streaming partial = %+v, replay = %+v", got, ws)
+	}
+	// Cumulative windows keep the documented drop-beyond-count contract.
+	if cum := s.CumulativeWindows([]int{5, 10}); len(cum) != 1 || cum[0].End != 5 {
+		t.Fatalf("cumulative truncation = %+v", cum)
+	}
+}
+
 func TestCumulativeWindows(t *testing.T) {
-	c := NewCollector()
+	c := retaining()
 	c.Record(rec(10, true, 100, false, 1)) // q1
 	c.Record(rec(30, false, 0, false, 0))  // q2
 	c.Record(rec(20, true, 200, false, 1)) // q3
@@ -119,6 +169,51 @@ func TestCumulativeWindows(t *testing.T) {
 	if ws[2].SuccessRate != 2.0/3.0 || ws[2].DownloadRTT != 150 {
 		t.Fatalf("w2 = %+v", ws[2])
 	}
+}
+
+// sameWindows compares window slices bit-for-bit, treating empty and nil
+// as equal (Window is comparable, so slices.Equal is exact equality).
+func sameWindows(a, b []Window) bool { return slices.Equal(a, b) }
+
+// TestStreamingMatchesReplay is the equivalence law of the refactor: on any
+// record stream, windows sealed incrementally during the run are
+// bit-identical to windows replayed from retained records afterwards.
+func TestStreamingMatchesReplay(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	grid := []int{10, 25, 40, 80, 120}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(130) // sometimes short of the last checkpoints
+		c := NewCollectorWith(CollectorConfig{Checkpoints: grid, RetainRecords: true})
+		for i := 0; i < n; i++ {
+			c.Record(rec(r.Intn(50), r.Intn(3) > 0, 10+490*r.Float64(), r.Intn(2) == 0, r.Intn(7)))
+		}
+		if got, want := c.Windows(grid), c.replayWindows(grid); !sameWindows(got, want) {
+			t.Fatalf("trial %d (n=%d): streaming windows %+v != replay %+v", trial, n, got, want)
+		}
+		if got, want := c.CumulativeWindows(grid), c.replayCumulativeWindows(grid); !sameWindows(got, want) {
+			t.Fatalf("trial %d (n=%d): streaming cumulative %+v != replay %+v", trial, n, got, want)
+		}
+	}
+}
+
+func TestWindowsRequireGridOrRecords(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ad-hoc Windows on a pure streaming collector must panic")
+		}
+	}()
+	c := NewCollectorWith(CollectorConfig{Checkpoints: []int{5}})
+	c.Record(rec(1, true, 1, false, 1))
+	c.Windows([]int{3}) // not the configured grid, no records to replay
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misordered checkpoints must panic")
+		}
+	}()
+	NewCollectorWith(CollectorConfig{Checkpoints: []int{10, 5}})
 }
 
 func TestAggregateWindows(t *testing.T) {

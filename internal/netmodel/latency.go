@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // LatencyConfig maps plane distances to round-trip times.
@@ -30,7 +31,23 @@ type Model struct {
 	diag   float64 // plane diagonal used for normalisation
 	jseed  int64
 	maxDim float64
+
+	// jmu/jcache memoise jittered pair RTTs: deriving the per-pair jitter
+	// stream costs a rand.Rand allocation, which on the simulator's hot
+	// path (one RTT per message hop) dominated the per-event allocation
+	// budget. The cache holds only pairs actually used — overlay links and
+	// download pairs — and is capped at maxJitterCacheEntries; once full,
+	// further pairs are recomputed per call (identical values, no growth).
+	// The mutex keeps the documented concurrent-reader safety; it is
+	// uncontended in practice because each simulation owns its Model.
+	jmu    sync.Mutex
+	jcache map[uint64]float64
 }
+
+// maxJitterCacheEntries bounds the jitter memo (~16 bytes/entry plus map
+// overhead, ≈100 MB at the cap) so a very long churn-heavy run cannot grow
+// it without limit.
+const maxJitterCacheEntries = 1 << 22
 
 // ErrPeerRange reports an out-of-range peer id.
 var ErrPeerRange = errors.New("netmodel: peer id out of range")
@@ -76,11 +93,18 @@ func (m *Model) RTT(a, b int) float64 {
 	if m.cfg.Jitter <= 0 {
 		return base
 	}
-	// Deterministic symmetric jitter: seed from unordered pair identity.
 	lo, hi := a, b
 	if lo > hi {
 		lo, hi = hi, lo
 	}
+	key := uint64(lo)<<32 | uint64(uint32(hi))
+	m.jmu.Lock()
+	if rtt, ok := m.jcache[key]; ok {
+		m.jmu.Unlock()
+		return rtt
+	}
+	m.jmu.Unlock()
+	// Deterministic symmetric jitter: seed from unordered pair identity.
 	r := rand.New(rand.NewSource(m.jseed ^ (int64(lo)<<20 | int64(hi))))
 	factor := 1 + m.cfg.Jitter*r.NormFloat64()
 	if factor < 0.5 {
@@ -90,6 +114,14 @@ func (m *Model) RTT(a, b int) float64 {
 	if rtt < m.cfg.MinRTT {
 		rtt = m.cfg.MinRTT
 	}
+	m.jmu.Lock()
+	if m.jcache == nil {
+		m.jcache = make(map[uint64]float64, 256)
+	}
+	if len(m.jcache) < maxJitterCacheEntries {
+		m.jcache[key] = rtt
+	}
+	m.jmu.Unlock()
 	return rtt
 }
 

@@ -20,9 +20,15 @@ type PeerID int
 // Graph is an undirected overlay graph over peers 0..n-1. Peers may be
 // marked offline (churn); offline peers keep their identity but have no
 // links.
+//
+// Adjacency is kept twice: a map per peer for O(1) Linked checks and a
+// sorted slice per peer so the hot Neighbors call returns without
+// allocating or sorting. Mutations (build, churn) pay the small insertion
+// cost; the simulator's per-event reads are free.
 type Graph struct {
 	n      int
 	adj    []map[PeerID]struct{}
+	nbrs   [][]PeerID
 	online []bool
 	edges  int
 }
@@ -39,6 +45,7 @@ func NewGraph(n int) *Graph {
 	g := &Graph{
 		n:      n,
 		adj:    make([]map[PeerID]struct{}, n),
+		nbrs:   make([][]PeerID, n),
 		online: make([]bool, n),
 	}
 	for i := range g.adj {
@@ -46,6 +53,25 @@ func NewGraph(n int) *Graph {
 		g.online[i] = true
 	}
 	return g
+}
+
+// insertSorted adds x to the ascending slice s, keeping order.
+func insertSorted(s []PeerID, x PeerID) []PeerID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// removeSorted deletes x from the ascending slice s, keeping order.
+func removeSorted(s []PeerID, x PeerID) []PeerID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i < len(s) && s[i] == x {
+		copy(s[i:], s[i+1:])
+		s = s[:len(s)-1]
+	}
+	return s
 }
 
 // N returns the total number of peer slots (online and offline).
@@ -89,6 +115,8 @@ func (g *Graph) AddLink(a, b PeerID) error {
 	}
 	g.adj[a][b] = struct{}{}
 	g.adj[b][a] = struct{}{}
+	g.nbrs[a] = insertSorted(g.nbrs[a], b)
+	g.nbrs[b] = insertSorted(g.nbrs[b], a)
 	g.edges++
 	return nil
 }
@@ -103,6 +131,8 @@ func (g *Graph) RemoveLink(a, b PeerID) {
 	}
 	delete(g.adj[a], b)
 	delete(g.adj[b], a)
+	g.nbrs[a] = removeSorted(g.nbrs[a], b)
+	g.nbrs[b] = removeSorted(g.nbrs[b], a)
 	g.edges--
 }
 
@@ -123,19 +153,15 @@ func (g *Graph) Degree(p PeerID) int {
 	return len(g.adj[p])
 }
 
-// Neighbors returns p's neighbour list in ascending order. Sorting makes
-// iteration order deterministic, which the simulator relies on for
-// reproducible runs.
+// Neighbors returns p's neighbour list in ascending order — deterministic
+// iteration, which the simulator relies on for reproducible runs. The
+// returned slice is the graph's internal table: callers must not mutate or
+// retain it across graph mutations.
 func (g *Graph) Neighbors(p PeerID) []PeerID {
 	if !g.valid(p) {
 		return nil
 	}
-	out := make([]PeerID, 0, len(g.adj[p]))
-	for q := range g.adj[p] {
-		out = append(out, q)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return g.nbrs[p]
 }
 
 // AvgDegree returns the mean degree over online peers.
@@ -153,7 +179,9 @@ func (g *Graph) Leave(p PeerID) []PeerID {
 	if !g.valid(p) || !g.online[p] {
 		return nil
 	}
-	former := g.Neighbors(p)
+	// Copy before unlinking: RemoveLink mutates the internal list that
+	// Neighbors aliases.
+	former := append([]PeerID(nil), g.nbrs[p]...)
 	for _, q := range former {
 		g.RemoveLink(p, q)
 	}

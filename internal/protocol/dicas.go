@@ -34,8 +34,8 @@ func (Dicas) CacheConfig(base cache.Config) cache.Config {
 // filename hash; if none, the highest-degree neighbour keeps the query
 // alive.
 func (Dicas) Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID {
-	want := gidOfQuery(q.Q, net.Config.GroupCount)
-	var out []overlay.PeerID
+	want := q.QGid
+	out := net.targetBuf()
 	for _, nb := range net.Graph.Neighbors(n.ID) {
 		if nb == from || q.onPath(nb) {
 			continue

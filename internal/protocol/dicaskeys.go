@@ -39,7 +39,7 @@ func (DicasKeys) CacheConfig(base cache.Config) cache.Config {
 // degenerate towards flooding.
 func (DicasKeys) Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID {
 	want := gidOfKeyword(routingKeyword(q.Q), net.Config.GroupCount)
-	var out []overlay.PeerID
+	out := net.targetBuf()
 	for _, nb := range net.Graph.Neighbors(n.ID) {
 		if nb == from || q.onPath(nb) {
 			continue

@@ -31,7 +31,7 @@ func (Flooding) CacheConfig(base cache.Config) cache.Config {
 // Forward implements Behavior: all neighbours except the sender and peers
 // already on the path.
 func (Flooding) Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID {
-	var out []overlay.PeerID
+	out := net.targetBuf()
 	for _, nb := range net.Graph.Neighbors(n.ID) {
 		if nb == from || q.onPath(nb) {
 			continue

@@ -23,7 +23,9 @@ func randomNet(t *testing.T, b Behavior, seed int64, peers int) (*Network, []key
 	loc := netmodel.NewLocator(model, lm)
 	g := overlay.BuildRandom(peers, overlay.DefaultBuild(), r)
 	eng := sim.NewEngine()
-	net := NewNetwork(eng, g, model, loc, b, DefaultConfig(),
+	cfg := DefaultConfig()
+	cfg.Collector.RetainRecords = true // invariants inspect per-query records
+	net := NewNetwork(eng, g, model, loc, b, cfg,
 		rand.New(rand.NewSource(seed+1)), rand.New(rand.NewSource(seed+2)))
 
 	// Seed files: a pool of filenames, three per peer.

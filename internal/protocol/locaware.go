@@ -38,8 +38,8 @@ func (Locaware) CacheConfig(base cache.Config) cache.Config { return base }
 // Forward implements Behavior. Neighbour preference order per §4.2: Bloom
 // match on all keywords → Gid match → highest-degree last resort.
 func (Locaware) Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID {
-	kws := q.Q.Strings()
-	var bfMatched []overlay.PeerID
+	kws := q.kwStrings()
+	bfMatched := net.targetBuf()
 	for _, nb := range net.Graph.Neighbors(n.ID) {
 		if nb == from || q.onPath(nb) {
 			continue
@@ -52,8 +52,8 @@ func (Locaware) Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID)
 		net.Forwarding.BloomMatched += uint64(len(bfMatched))
 		return bfMatched
 	}
-	want := gidOfQuery(q.Q, net.Config.GroupCount)
-	var gidMatched []overlay.PeerID
+	want := q.QGid
+	gidMatched := net.targetBuf() // bfMatched is empty, so reuse is safe
 	for _, nb := range net.Graph.Neighbors(n.ID) {
 		if nb == from || q.onPath(nb) {
 			continue

@@ -22,8 +22,8 @@ func (LocawareLR) Name() string { return "Locaware-LR" }
 // Forward implements Behavior: Bloom-matched neighbours in the origin's
 // locality first; then the plain Locaware preference chain.
 func (l LocawareLR) Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID {
-	kws := q.Q.Strings()
-	var sameLoc, other []overlay.PeerID
+	kws := q.kwStrings()
+	sameLoc, other := net.targetBuf(), net.targetBuf2()
 	for _, nb := range net.Graph.Neighbors(n.ID) {
 		if nb == from || q.onPath(nb) {
 			continue

@@ -27,11 +27,21 @@ import (
 type QueryID uint64
 
 // QueryMsg is a keyword query in flight (§3.1: a query is expressed by some
-// keywords related to the queried filename).
+// keywords related to the queried filename). Instances are pooled by the
+// network: a message is valid only during its delivery event, and state
+// that outlives the event (response paths) must be copied out.
 type QueryMsg struct {
 	ID QueryID
 	// Q is the keyword set.
 	Q keywords.Query
+	// KwStrs caches Q's keywords as strings for Bloom membership tests;
+	// computed once at submission (Bloom-routing behaviours only) and
+	// shared read-only by every branch of the query.
+	KwStrs []string
+	// QGid caches gidOfQuery(Q, M): the group id every Gid-routing hop
+	// would otherwise recompute by rebuilding the query's canonical
+	// filename string.
+	QGid int
 	// Origin is the requesting peer; OriginLoc its locality (§4.1.2: the
 	// answering peer selects providers according to the locId of the
 	// querying peer, so the query carries it).
@@ -44,13 +54,13 @@ type QueryMsg struct {
 	Path []overlay.PeerID
 }
 
-// clone returns a copy of the message with an independent path slice,
-// suitable for per-branch mutation during forwarding.
-func (q *QueryMsg) clone() *QueryMsg {
-	cp := *q
-	cp.Path = make([]overlay.PeerID, len(q.Path))
-	copy(cp.Path, q.Path)
-	return &cp
+// kwStrings returns the query's keywords as strings, preferring the
+// per-query cached slice (set at submission for Bloom-routing behaviours).
+func (q *QueryMsg) kwStrings() []string {
+	if q.KwStrs != nil {
+		return q.KwStrs
+	}
+	return q.Q.Strings()
 }
 
 // onPath reports whether p already appears on the query's path.
@@ -64,7 +74,9 @@ func (q *QueryMsg) onPath(p overlay.PeerID) bool {
 }
 
 // ResponseMsg is a query response travelling the reverse path (§3.1: "query
-// responses follow the reverse path of their corresponding q").
+// responses follow the reverse path of their corresponding q"). Instances
+// are pooled and mutated in place as they walk the reverse path: exactly
+// one scheduled delivery owns a response at any instant.
 type ResponseMsg struct {
 	ID QueryID
 	// File is the satisfying filename.

@@ -37,6 +37,11 @@ type Config struct {
 	// walk; the default 2 keeps enough branching for the walk to cover a
 	// useful fraction of the overlay within TTL.
 	FallbackFanout int
+	// Collector configures the measurement plane: the streaming checkpoint
+	// grid for figure windows and whether full per-query records are
+	// retained (see metrics.CollectorConfig). The zero value is a pure
+	// streaming collector: O(1) state, scalar metrics only.
+	Collector metrics.CollectorConfig
 }
 
 // DefaultConfig returns the paper's §5.1 parameters.
@@ -67,7 +72,10 @@ type Behavior interface {
 	// providers than in Dicas").
 	CacheConfig(base cache.Config) cache.Config
 	// Forward selects the neighbours of n to forward q to; from is the
-	// peer the query arrived from (the origin itself on first hop).
+	// peer the query arrived from (the origin itself on first hop). The
+	// returned slice is consumed before the next Forward call, so
+	// implementations may return the network's shared target buffer
+	// (Network.targetBuf).
 	Forward(net *Network, n *Node, q *QueryMsg, from overlay.PeerID) []overlay.PeerID
 	// CacheResponse lets reverse-path node n cache the response per the
 	// protocol's placement rule.
@@ -76,11 +84,13 @@ type Behavior interface {
 	// as a new provider here (§4.1.2).
 	OnAnswer(net *Network, n *Node, q *QueryMsg, f keywords.Filename)
 	// SelectProvider picks the download source among the response's
-	// providers at the requester.
+	// providers at the requester. The provs slice is scratch owned by the
+	// network; implementations must not retain it.
 	SelectProvider(net *Network, requester *Node, provs []cache.Provider) (cache.Provider, bool)
 }
 
 // pendingQuery is requester-side bookkeeping for one in-flight query.
+// Instances are pooled: finalize returns them to the network's free list.
 type pendingQuery struct {
 	origin overlay.PeerID
 	// col is the collector the query will finalise into; captured at
@@ -94,6 +104,10 @@ type pendingQuery struct {
 	fromCache bool
 	hops      int
 	finalized bool
+	// visited lists the peers whose duplicate-suppression set holds this
+	// query, so finalisation can erase the entries and keep per-node seen
+	// state bounded by the in-flight query count instead of the run length.
+	visited []overlay.PeerID
 }
 
 // ForwardStats counts routing decisions, for diagnosis and the routing
@@ -120,10 +134,27 @@ type Network struct {
 	Collector *metrics.Collector
 	Config    Config
 
-	nodes   []*Node
-	rng     *rand.Rand
-	nextID  QueryID
-	pending map[QueryID]*pendingQuery
+	// nodes is the flat per-peer state table, allocated in one block at
+	// network build (the tendermint-simulator layout: contiguous state,
+	// pointer-stable because the slice never grows).
+	nodes    []*Node
+	nodeArr  []Node
+	rng      *rand.Rand
+	nextID   QueryID
+	pending  map[QueryID]*pendingQuery
+	pqFree   []*pendingQuery
+	msgFree  []*QueryMsg
+	respFree []*ResponseMsg
+
+	// Reusable scratch buffers for the per-event selection loops. Each is
+	// filled and fully consumed within one event delivery, so a single
+	// instance per network suffices on the single-threaded engine.
+	fwdBuf  []overlay.PeerID
+	fwdBuf2 []overlay.PeerID
+	eligBuf []overlay.PeerID
+	restBuf []overlay.PeerID
+	fbBuf   []overlay.PeerID
+	provBuf []cache.Provider
 
 	// Forwarding tallies routing decisions across the run.
 	Forwarding ForwardStats
@@ -162,16 +193,28 @@ func NewNetwork(eng *sim.Engine, g *overlay.Graph, m *netmodel.Model, loc *netmo
 		Model:     m,
 		Locator:   loc,
 		Behavior:  b,
-		Collector: metrics.NewCollector(),
+		Collector: metrics.NewCollectorWith(cfg.Collector),
 		Config:    cfg,
 		rng:       protoRng,
 		pending:   make(map[QueryID]*pendingQuery),
+		// Selection scratch: sized past the default MaxDegree (12) so the
+		// per-event loops run allocation-free; pathological degrees merely
+		// cost a transient grow.
+		fwdBuf:  make([]overlay.PeerID, 0, 64),
+		fwdBuf2: make([]overlay.PeerID, 0, 64),
+		eligBuf: make([]overlay.PeerID, 0, 64),
+		restBuf: make([]overlay.PeerID, 0, 64),
+		fbBuf:   make([]overlay.PeerID, 0, 64),
+		provBuf: make([]cache.Provider, 0, 16),
 	}
 	cacheCfg := b.CacheConfig(cfg.Cache)
+	net.nodeArr = make([]Node, g.N())
 	net.nodes = make([]*Node, g.N())
-	for i := range net.nodes {
-		net.nodes[i] = newNode(overlay.PeerID(i), gidRng.Intn(cfg.GroupCount),
+	for i := range net.nodeArr {
+		n := &net.nodeArr[i]
+		initNode(n, overlay.PeerID(i), gidRng.Intn(cfg.GroupCount),
 			loc.LocID(i), cacheCfg, b.UsesBloom(), cfg.BloomBits, cfg.BloomK)
+		net.nodes[i] = n
 	}
 	if b.UsesBloom() && cfg.BloomGossipPeriod > 0 {
 		eng.Every(cfg.BloomGossipPeriod, func(*sim.Engine) bool {
@@ -214,6 +257,48 @@ func (net *Network) ControlMessages() uint64 { return net.controlMessages }
 // ControlBits returns the total gossiped delta payload in bits.
 func (net *Network) ControlBits() uint64 { return net.controlBits }
 
+// targetBuf returns the shared empty buffer Behavior.Forward
+// implementations accumulate their target list into. The buffer is valid
+// until the next Forward call; the network consumes it immediately.
+func (net *Network) targetBuf() []overlay.PeerID { return net.fwdBuf[:0] }
+
+// targetBuf2 is a second target buffer for behaviours that partition
+// neighbours into two candidate lists (e.g. LocawareLR's same-locality
+// split).
+func (net *Network) targetBuf2() []overlay.PeerID { return net.fwdBuf2[:0] }
+
+// acquirePending takes a pendingQuery from the pool.
+func (net *Network) acquirePending(origin overlay.PeerID) *pendingQuery {
+	if n := len(net.pqFree); n > 0 {
+		pq := net.pqFree[n-1]
+		net.pqFree = net.pqFree[:n-1]
+		*pq = pendingQuery{origin: origin, col: net.Collector, visited: pq.visited[:0]}
+		return pq
+	}
+	return &pendingQuery{origin: origin, col: net.Collector}
+}
+
+// acquireMsg takes a QueryMsg from the pool. The caller owns it until it is
+// released by the delivery wrapper in forward (or never, for dropped
+// events, in which case the GC reclaims it).
+func (net *Network) acquireMsg() *QueryMsg {
+	if n := len(net.msgFree); n > 0 {
+		m := net.msgFree[n-1]
+		net.msgFree = net.msgFree[:n-1]
+		return m
+	}
+	return &QueryMsg{}
+}
+
+// releaseMsg returns a fully processed query message to the pool. KwStrs is
+// cleared rather than reused: responses created during processing may still
+// alias the keyword-string slice (it is shared per query, not per branch).
+func (net *Network) releaseMsg(m *QueryMsg) {
+	m.Path = m.Path[:0]
+	m.KwStrs = nil
+	net.msgFree = append(net.msgFree, m)
+}
+
 // gossipBlooms runs one gossip round: every online node whose filter
 // changed since its last announcement sends the update to each neighbour
 // as a real message, delivered after link latency (§4.2: neighbours hold
@@ -253,18 +338,10 @@ func (net *Network) gossipBlooms() {
 func (net *Network) SubmitQuery(origin overlay.PeerID, q keywords.Query) QueryID {
 	net.nextID++
 	id := net.nextID
-	pq := &pendingQuery{origin: origin, col: net.Collector}
+	pq := net.acquirePending(origin)
 	net.pending[id] = pq
 
-	msg := &QueryMsg{
-		ID:        id,
-		Q:         q,
-		Origin:    origin,
-		OriginLoc: net.nodes[origin].Loc,
-		TTL:       net.Config.TTL,
-		Path:      []overlay.PeerID{origin},
-	}
-	net.Engine.MustSchedule(net.Config.FinalizeAfter, func(*sim.Engine) {
+	net.Engine.Post(net.Config.FinalizeAfter, func(*sim.Engine) {
 		net.finalize(id)
 	})
 	net.emit(trace.QuerySubmit, id, origin, -1, q.String)
@@ -272,7 +349,7 @@ func (net *Network) SubmitQuery(origin overlay.PeerID, q keywords.Query) QueryID
 		return id
 	}
 	n := net.nodes[origin]
-	n.seen[id] = true
+	net.markSeen(n, id, pq)
 	// Local check first: the requester may already hold a matching file or
 	// index.
 	if f, ok := n.storageMatch(q); ok {
@@ -291,8 +368,30 @@ func (net *Network) SubmitQuery(origin overlay.PeerID, q keywords.Query) QueryID
 			return id
 		}
 	}
+	msg := net.acquireMsg()
+	msg.ID = id
+	msg.Q = q
+	if net.Behavior.UsesBloom() {
+		// Computed once per query and shared by every branch: Bloom routing
+		// tests the same keyword strings at each hop.
+		msg.KwStrs = q.Strings()
+	}
+	// Cached once per query: every Gid-routing hop consults the same value.
+	msg.QGid = gidOfQuery(q, net.Config.GroupCount)
+	msg.Origin = origin
+	msg.OriginLoc = n.Loc
+	msg.TTL = net.Config.TTL
+	msg.Path = append(msg.Path[:0], origin)
 	net.forward(n, msg, origin)
+	net.releaseMsg(msg)
 	return id
+}
+
+// markSeen adds the query to n's duplicate-suppression set and registers
+// the entry for erasure at finalisation.
+func (net *Network) markSeen(n *Node, id QueryID, pq *pendingQuery) {
+	n.seen[id] = true
+	pq.visited = append(pq.visited, n.ID)
 }
 
 // forward runs the behaviour's neighbour selection and ships the query.
@@ -305,10 +404,20 @@ func (net *Network) forward(n *Node, q *QueryMsg, from overlay.PeerID) {
 		if t == n.ID || !net.Graph.Online(t) || !net.Graph.Linked(n.ID, t) {
 			continue
 		}
-		branch := q.clone()
-		branch.TTL--
-		branch.Path = append(branch.Path, t)
-		net.send(n.ID, t, func(*sim.Engine) { net.receiveQuery(t, branch) })
+		branch := net.acquireMsg()
+		branch.ID = q.ID
+		branch.Q = q.Q
+		branch.KwStrs = q.KwStrs
+		branch.QGid = q.QGid
+		branch.Origin = q.Origin
+		branch.OriginLoc = q.OriginLoc
+		branch.TTL = q.TTL - 1
+		branch.Path = append(append(branch.Path[:0], q.Path...), t)
+		t := t
+		net.send(n.ID, t, func(*sim.Engine) {
+			net.receiveQuery(t, branch)
+			net.releaseMsg(branch)
+		})
 		net.countMessage(q.ID)
 		net.emit(trace.QueryForward, q.ID, t, n.ID, nil)
 	}
@@ -318,7 +427,7 @@ func (net *Network) forward(n *Node, q *QueryMsg, from overlay.PeerID) {
 // one-way latency plus processing delay.
 func (net *Network) send(a, b overlay.PeerID, h sim.Handler) {
 	delay := sim.FromMillis(net.Model.OneWay(int(a), int(b))) + net.Config.ProcessingDelay
-	net.Engine.MustSchedule(delay, h)
+	net.Engine.Post(delay, h)
 }
 
 // countMessage attributes one overlay message to query id.
@@ -328,9 +437,22 @@ func (net *Network) countMessage(id QueryID) {
 	}
 }
 
-// receiveQuery processes an arriving query at peer p.
+// receiveQuery processes an arriving query at peer p. The caller retains
+// ownership of q (it is released to the pool after this returns), so any
+// state that outlives the call — notably response reverse paths — is
+// copied, never aliased.
 func (net *Network) receiveQuery(p overlay.PeerID, q *QueryMsg) {
 	if !net.Graph.Online(p) {
+		return
+	}
+	pq := net.pending[q.ID]
+	if pq == nil {
+		// The query was already finalised: its seen entries are erased and
+		// its record sealed, so processing a straggler would mutate caches
+		// the sealed record never saw. Under the documented FinalizeAfter
+		// contract (longer than any in-flight message) this cannot happen;
+		// with a misconfigured shorter deadline, dropping here keeps the
+		// run consistent and the seen sets bounded.
 		return
 	}
 	n := net.nodes[p]
@@ -338,22 +460,21 @@ func (net *Network) receiveQuery(p overlay.PeerID, q *QueryMsg) {
 		net.emit(trace.QueryDuplicate, q.ID, p, -1, nil)
 		return // duplicate: already counted at send time
 	}
-	n.seen[q.ID] = true
+	net.markSeen(n, q.ID, pq)
 
 	// Storage hit?
 	if f, ok := n.storageMatch(q.Q); ok {
 		net.emit(trace.StorageHit, q.ID, p, -1, f.String)
-		rsp := &ResponseMsg{
-			ID:          q.ID,
-			File:        f,
-			Providers:   []cache.Provider{{Peer: p, LocID: n.Loc, LastSeen: net.Engine.Now()}},
-			QueryKws:    q.Q,
-			Origin:      q.Origin,
-			OriginLoc:   q.OriginLoc,
-			Path:        q.Path[:len(q.Path)-1],
-			HitHops:     len(q.Path) - 1,
-			FromStorage: true,
-		}
+		rsp := net.acquireResponse()
+		rsp.ID = q.ID
+		rsp.File = f
+		rsp.Providers = append(rsp.Providers[:0], cache.Provider{Peer: p, LocID: n.Loc, LastSeen: net.Engine.Now()})
+		rsp.QueryKws = q.Q
+		rsp.Origin = q.Origin
+		rsp.OriginLoc = q.OriginLoc
+		rsp.Path = append(rsp.Path[:0], q.Path[:len(q.Path)-1]...)
+		rsp.HitHops = len(q.Path) - 1
+		rsp.FromStorage = true
 		net.Behavior.OnAnswer(net, n, q, f)
 		net.sendResponse(p, rsp)
 		return
@@ -362,21 +483,40 @@ func (net *Network) receiveQuery(p overlay.PeerID, q *QueryMsg) {
 	if ms := n.RI.Lookup(q.Q, net.Engine.Now()); len(ms) != 0 {
 		m := net.selectIndexMatch(ms, q)
 		net.emit(trace.CacheHit, q.ID, p, -1, m.File.String)
-		rsp := &ResponseMsg{
-			ID:        q.ID,
-			File:      m.File,
-			Providers: net.orderProvidersForOrigin(m.Providers, q.OriginLoc),
-			QueryKws:  q.Q,
-			Origin:    q.Origin,
-			OriginLoc: q.OriginLoc,
-			Path:      q.Path[:len(q.Path)-1],
-			HitHops:   len(q.Path) - 1,
-		}
+		rsp := net.acquireResponse()
+		rsp.ID = q.ID
+		rsp.File = m.File
+		rsp.Providers = net.orderProvidersForOrigin(rsp.Providers[:0], m.Providers, q.OriginLoc)
+		rsp.QueryKws = q.Q
+		rsp.Origin = q.Origin
+		rsp.OriginLoc = q.OriginLoc
+		rsp.Path = append(rsp.Path[:0], q.Path[:len(q.Path)-1]...)
+		rsp.HitHops = len(q.Path) - 1
+		rsp.FromStorage = false
 		net.Behavior.OnAnswer(net, n, q, m.File)
 		net.sendResponse(p, rsp)
 		return
 	}
 	net.forward(n, q, q.Path[len(q.Path)-2])
+}
+
+// acquireResponse takes a ResponseMsg from the pool; it is released when
+// the response completes, is dropped by churn, or is superseded.
+func (net *Network) acquireResponse() *ResponseMsg {
+	if n := len(net.respFree); n > 0 {
+		r := net.respFree[n-1]
+		net.respFree = net.respFree[:n-1]
+		return r
+	}
+	return &ResponseMsg{}
+}
+
+// releaseResponse returns a finished response to the pool.
+func (net *Network) releaseResponse(rsp *ResponseMsg) {
+	rsp.Providers = rsp.Providers[:0]
+	rsp.Path = rsp.Path[:0]
+	rsp.QueryKws = keywords.Query{}
+	net.respFree = append(net.respFree, rsp)
 }
 
 // selectIndexMatch picks among multiple matching cached filenames: prefer
@@ -400,28 +540,28 @@ func (net *Network) selectIndexMatch(ms []cache.Match, q *QueryMsg) cache.Match 
 	return best
 }
 
-// orderProvidersForOrigin sorts providers so those matching the origin's
-// locality come first (the §4.1.2 answer-construction rule: the response
-// contains the entry corresponding to the originator's locId plus other
-// providers as alternatives).
-func (net *Network) orderProvidersForOrigin(ps []cache.Provider, origin netmodel.LocID) []cache.Provider {
-	out := make([]cache.Provider, 0, len(ps))
+// orderProvidersForOrigin appends ps to dst so providers matching the
+// origin's locality come first (the §4.1.2 answer-construction rule: the
+// response contains the entry corresponding to the originator's locId plus
+// other providers as alternatives).
+func (net *Network) orderProvidersForOrigin(dst []cache.Provider, ps []cache.Provider, origin netmodel.LocID) []cache.Provider {
 	for _, p := range ps {
 		if p.LocID == origin {
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	}
 	for _, p := range ps {
 		if p.LocID != origin {
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
 }
 
 // sendResponse walks the response one hop back along the reverse path,
 // letting each traversed node apply the protocol's caching rule, and
-// completes the query at the origin.
+// completes the query at the origin. The response is mutated in place as it
+// walks: exactly one scheduled event owns it at any instant.
 func (net *Network) sendResponse(from overlay.PeerID, rsp *ResponseMsg) {
 	if len(rsp.Path) == 0 {
 		// The answering node is the origin's neighbourless case; deliver
@@ -430,13 +570,11 @@ func (net *Network) sendResponse(from overlay.PeerID, rsp *ResponseMsg) {
 		return
 	}
 	next := rsp.Path[len(rsp.Path)-1]
-	rest := rsp.Path[:len(rsp.Path)-1]
+	rsp.Path = rsp.Path[:len(rsp.Path)-1]
 	net.countMessage(rsp.ID)
 	net.emit(trace.ResponseHop, rsp.ID, next, from, nil)
 	net.send(from, next, func(*sim.Engine) {
-		cp := *rsp
-		cp.Path = rest
-		net.deliverResponse(next, &cp)
+		net.deliverResponse(next, rsp)
 	})
 }
 
@@ -444,6 +582,7 @@ func (net *Network) sendResponse(from overlay.PeerID, rsp *ResponseMsg) {
 // completion (p is the origin) or the next reverse hop.
 func (net *Network) deliverResponse(p overlay.PeerID, rsp *ResponseMsg) {
 	if !net.Graph.Online(p) {
+		net.releaseResponse(rsp)
 		return // reverse path broken by churn; response is lost
 	}
 	n := net.nodes[p]
@@ -454,6 +593,7 @@ func (net *Network) deliverResponse(p overlay.PeerID, rsp *ResponseMsg) {
 	}
 	if p == rsp.Origin {
 		net.completeQuery(n, rsp)
+		net.releaseResponse(rsp)
 		return
 	}
 	net.sendResponse(p, rsp)
@@ -487,18 +627,22 @@ func (net *Network) completeDownload(id QueryID, pq *pendingQuery, n *Node, f ke
 	})
 }
 
-// liveProviders filters out offline providers (stale indexes under churn).
+// liveProviders filters out offline providers (stale indexes under churn)
+// into the network's provider scratch buffer, consumed synchronously by
+// SelectProvider.
 func (net *Network) liveProviders(ps []cache.Provider) []cache.Provider {
-	out := ps[:0:0]
+	out := net.provBuf[:0]
 	for _, p := range ps {
 		if net.Graph.Online(p.Peer) {
 			out = append(out, p)
 		}
 	}
+	net.provBuf = out[:0]
 	return out
 }
 
-// finalize seals a query's record into the collector.
+// finalize seals a query's record into the collector, erases the query's
+// duplicate-suppression entries, and recycles the bookkeeping.
 func (net *Network) finalize(id QueryID) {
 	pq, ok := net.pending[id]
 	if !ok || pq.finalized {
@@ -516,7 +660,11 @@ func (net *Network) finalize(id QueryID) {
 		FromCache:    pq.fromCache,
 		Hops:         pq.hops,
 	})
+	for _, p := range pq.visited {
+		delete(net.nodes[p].seen, id)
+	}
 	delete(net.pending, id)
+	net.pqFree = append(net.pqFree, pq)
 }
 
 // FlushPending finalises all still-pending queries immediately (used at
@@ -527,13 +675,13 @@ func (net *Network) FlushPending() {
 	}
 }
 
-// ResetCollector swaps in a fresh metrics collector and returns the old
-// one. Queries already in flight keep finalising into the collector that
-// was active when they were submitted, so a warmup phase cannot
-// contaminate the measured phase.
+// ResetCollector swaps in a fresh metrics collector (same configuration)
+// and returns the old one. Queries already in flight keep finalising into
+// the collector that was active when they were submitted, so a warmup phase
+// cannot contaminate the measured phase.
 func (net *Network) ResetCollector() *metrics.Collector {
 	old := net.Collector
-	net.Collector = metrics.NewCollector()
+	net.Collector = metrics.NewCollectorWith(net.Config.Collector)
 	return old
 }
 
@@ -547,25 +695,28 @@ func (net *Network) fallbackNeighbors(n *Node, q *QueryMsg, from overlay.PeerID)
 	if !ok {
 		return nil
 	}
-	var eligible []overlay.PeerID
+	eligible := net.eligBuf[:0]
 	for _, nb := range net.Graph.Neighbors(n.ID) {
 		if nb == from || q.onPath(nb) || !net.Graph.Online(nb) {
 			continue
 		}
 		eligible = append(eligible, nb)
 	}
-	out := []overlay.PeerID{best}
+	net.eligBuf = eligible[:0]
+	out := append(net.fbBuf[:0], best)
+	net.fbBuf = out[:0]
 	if net.Config.FallbackFanout <= 1 || len(eligible) == 1 {
 		net.Forwarding.Fallback++
 		return out
 	}
 	// Random extras among the remaining eligible neighbours.
-	var rest []overlay.PeerID
+	rest := net.restBuf[:0]
 	for _, nb := range eligible {
 		if nb != best {
 			rest = append(rest, nb)
 		}
 	}
+	net.restBuf = rest[:0]
 	net.rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
 	extra := net.Config.FallbackFanout - 1
 	if extra > len(rest) {

@@ -1,8 +1,6 @@
 package protocol
 
 import (
-	"hash/fnv"
-
 	"github.com/p2prepro/locaware/internal/bloom"
 	"github.com/p2prepro/locaware/internal/cache"
 	"github.com/p2prepro/locaware/internal/keywords"
@@ -50,8 +48,8 @@ func (b bloomSync) FilenameAdded(f keywords.Filename) {
 	if b.n.cbf == nil {
 		return
 	}
-	for _, kw := range f.Keywords() {
-		b.n.cbf.Add(string(kw))
+	for i := 0; i < f.K(); i++ {
+		b.n.cbf.Add(string(f.KeywordAt(i)))
 	}
 }
 
@@ -59,28 +57,28 @@ func (b bloomSync) FilenameEvicted(f keywords.Filename) {
 	if b.n.cbf == nil {
 		return
 	}
-	for _, kw := range f.Keywords() {
-		b.n.cbf.Remove(string(kw))
+	for i := 0; i < f.K(); i++ {
+		b.n.cbf.Remove(string(f.KeywordAt(i)))
 	}
 }
 
-// newNode builds a node with the given cache bounds; useBloom enables the
-// Bloom filter machinery (Locaware variants only).
-func newNode(id overlay.PeerID, gid int, loc netmodel.LocID, cacheCfg cache.Config, useBloom bool, bloomBits, bloomK int) *Node {
-	n := &Node{
-		ID:    id,
-		Gid:   gid,
-		Loc:   loc,
-		files: make(map[string]keywords.Filename),
-		seen:  make(map[QueryID]bool),
-	}
+// initNode initialises a node in place (nodes live in the network's flat
+// state table); useBloom enables the Bloom filter machinery (Locaware
+// variants only). The seen set is sized for the steady-state in-flight
+// query count — finalisation erases entries, so it does not grow with the
+// run length.
+func initNode(n *Node, id overlay.PeerID, gid int, loc netmodel.LocID, cacheCfg cache.Config, useBloom bool, bloomBits, bloomK int) {
+	n.ID = id
+	n.Gid = gid
+	n.Loc = loc
+	n.files = make(map[string]keywords.Filename, 8)
+	n.seen = make(map[QueryID]bool, 8)
 	n.RI = cache.New(cacheCfg, bloomSync{n})
 	if useBloom {
 		n.cbf = bloom.NewCounting(bloomBits, bloomK)
 		n.published = bloom.New(bloomBits, bloomK)
 		n.neighborBF = make(map[overlay.PeerID]*bloom.Filter)
 	}
-	return n
 }
 
 // NeighborBloom returns this node's copy of neighbour nb's announced
@@ -154,11 +152,20 @@ func (n *Node) PublishBloom() (bloom.Delta, error) {
 func (n *Node) PublishedBloom() *bloom.Filter { return n.published }
 
 // gidOfName maps a canonical filename string to its group id:
-// hash(f) mod M (Eq. 1).
+// hash(f) mod M (Eq. 1). The FNV-1a hash is inlined (bit-identical to
+// hash/fnv's 32-bit variant) so the per-hop routing and caching decisions
+// hash without allocating a hasher or a byte-slice copy.
 func gidOfName(name string, m int) int {
-	h := fnv.New32a()
-	h.Write([]byte(name))
-	return int(h.Sum32() % uint32(m))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return int(h % uint32(m))
 }
 
 // gidOfKeyword maps a single keyword to a group id (Dicas-Keys).

@@ -16,6 +16,9 @@ import (
 // edges, corner landmarks, configurable behaviour.
 func testNet(t *testing.T, b Behavior, pts []netmodel.Point, edges [][2]int, cfg Config) *Network {
 	t.Helper()
+	// Unit tests assert on individual query records, so run the collector
+	// in full-fidelity mode.
+	cfg.Collector.RetainRecords = true
 	eng := sim.NewEngine()
 	model := netmodel.NewModel(pts, 1000, netmodel.LatencyConfig{MinRTT: 10, MaxRTT: 500}, 0)
 	lm := netmodel.FixedLandmarks([]netmodel.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}, {X: 0, Y: 1000}, {X: 1000, Y: 1000}})
@@ -483,7 +486,7 @@ func TestOrderProvidersForOrigin(t *testing.T) {
 		{Peer: 3, LocID: 5},
 		{Peer: 4, LocID: 1},
 	}
-	got := net.orderProvidersForOrigin(ps, 5)
+	got := net.orderProvidersForOrigin(nil, ps, 5)
 	if got[0].LocID != 5 || got[1].LocID != 5 {
 		t.Fatalf("locality entries not first: %+v", got)
 	}

@@ -20,11 +20,11 @@ func (e *Engine) Every(period Time, c Control) *Timer {
 		}
 		t, err := eng.Schedule(period, fire)
 		if err == nil {
-			outer.ev = t.ev
+			*outer = *t
 		}
 	}
 	t := e.MustSchedule(period, fire)
-	outer.ev = t.ev
+	*outer = *t
 	return outer
 }
 

@@ -20,6 +20,30 @@ type Engine struct {
 	scheduled uint64
 	// horizon, when non-zero, rejects events scheduled beyond it.
 	horizon Time
+	// free recycles delivered/discarded events so a steady-state run
+	// schedules without allocating; recycled events bump their generation,
+	// invalidating stale Timer handles.
+	free []*event
+}
+
+// alloc takes an event from the free list or the heap.
+func (e *Engine) alloc(at Time, h Handler) *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.handler, ev.dead = at, e.seq, h, false
+		return ev
+	}
+	return &event{at: at, seq: e.seq, handler: h}
+}
+
+// recycle returns a popped event to the free list, invalidating handles.
+func (e *Engine) recycle(ev *event) {
+	ev.handler = nil
+	ev.dead = true
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // ErrPast is returned when an event is scheduled before the current virtual
@@ -67,13 +91,42 @@ func (e *Engine) ScheduleAt(at Time, h Handler) (*Timer, error) {
 	if e.horizon > 0 && at > e.horizon {
 		// Dropped by horizon policy: return a dead timer, not an error, so
 		// callers near the end of a run need no special casing.
-		return &Timer{ev: &event{dead: true}}, nil
+		return deadTimer, nil
 	}
-	ev := &event{at: at, seq: e.seq, handler: h}
+	ev := e.alloc(at, h)
 	e.seq++
 	e.scheduled++
 	e.queue.push(ev)
-	return &Timer{ev: ev}, nil
+	return &Timer{ev: ev, gen: ev.gen}, nil
+}
+
+// PostAt is ScheduleAt without a cancellation handle: the hot-path variant
+// for fire-and-forget events (message deliveries, query finalisation),
+// which schedules with zero allocations beyond the handler closure.
+func (e *Engine) PostAt(at Time, h Handler) error {
+	if at < e.now {
+		return ErrPast
+	}
+	if e.horizon > 0 && at > e.horizon {
+		return nil // dropped by horizon policy, as ScheduleAt
+	}
+	ev := e.alloc(at, h)
+	e.seq++
+	e.scheduled++
+	e.queue.push(ev)
+	return nil
+}
+
+// Post queues h to run after delay without a cancellation handle; it panics
+// on a negative delay (the only invalid input). It is the allocation-free
+// counterpart of MustSchedule.
+func (e *Engine) Post(delay Time, h Handler) {
+	if delay < 0 {
+		panic(ErrPast)
+	}
+	if err := e.PostAt(e.now+delay, h); err != nil {
+		panic(err)
+	}
 }
 
 // MustSchedule is Schedule for callers with a known-valid delay; it panics on
@@ -120,11 +173,14 @@ func (e *Engine) RunUntil(deadline Time, maxEvents uint64) uint64 {
 		}
 		e.queue.pop()
 		if next.dead {
+			e.recycle(next)
 			continue
 		}
 		e.now = next.at
 		next.dead = true
-		next.handler(e)
+		h := next.handler
+		e.recycle(next)
+		h(e)
 		e.processed++
 		delivered++
 	}
@@ -133,6 +189,11 @@ func (e *Engine) RunUntil(deadline Time, maxEvents uint64) uint64 {
 
 // Drain discards all pending events without running them.
 func (e *Engine) Drain() {
-	for e.queue.pop() != nil {
+	for {
+		ev := e.queue.pop()
+		if ev == nil {
+			return
+		}
+		e.recycle(ev)
 	}
 }

@@ -63,25 +63,34 @@ func FromSeconds(s float64) Time {
 type Handler func(e *Engine)
 
 // event is an entry in the engine's priority queue. seq breaks timestamp
-// ties in scheduling order so same-instant events are FIFO.
+// ties in scheduling order so same-instant events are FIFO. Events are
+// recycled through the engine's free list once delivered or discarded; gen
+// distinguishes incarnations so stale Timer handles cannot cancel an
+// unrelated later event.
 type event struct {
 	at      Time
 	seq     uint64
 	handler Handler
 	index   int // heap bookkeeping
 	dead    bool
+	gen     uint64
 }
 
 // Timer is a handle to a scheduled event that can be cancelled.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
+
+// deadTimer is the shared handle returned for events dropped by the
+// horizon; it is permanently non-pending.
+var deadTimer = &Timer{}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled timer is a no-op. Cancel reports whether the event was
 // still pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+	if !t.Pending() {
 		return false
 	}
 	t.ev.dead = true
@@ -90,5 +99,5 @@ func (t *Timer) Cancel() bool {
 
 // Pending reports whether the event has neither fired nor been cancelled.
 func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.dead
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
 }

@@ -120,6 +120,13 @@ type Options struct {
 	BloomBits int
 	// Churn enables peer leave/rejoin dynamics.
 	Churn bool
+	// RetainRecords keeps every per-query record in memory and exposes them
+	// as Result.Records — the full-fidelity trace mode used by
+	// cmd/locaware-trace. Off (the default), the measurement plane is a
+	// streaming accumulator whose state is O(checkpoints), so memory no
+	// longer grows with the query count; all aggregate metrics and figure
+	// tables are bit-identical either way.
+	RetainRecords bool
 	// Trials is the number of independent replications RunTrials and
 	// CompareTrials execute per protocol (<= 0 means 1). Trial t runs in
 	// its own simulated world rooted at a seed derived deterministically
@@ -214,6 +221,7 @@ func (o Options) coreConfig() core.Config {
 	}
 	cfg.ChurnEnabled = o.Churn
 	cfg.Churn = overlay.DefaultChurn()
+	cfg.Protocol.Collector.RetainRecords = o.RetainRecords
 	return cfg
 }
 
@@ -257,9 +265,46 @@ type Result struct {
 	SimulatedSeconds float64
 	// Events is the number of simulator events processed.
 	Events uint64
+	// Records holds every measured query's outcome in submission order —
+	// populated only when Options.RetainRecords is set (memory grows with
+	// the query count).
+	Records []QueryRecord
+}
+
+// QueryRecord is the outcome of one measured query (RetainRecords mode).
+type QueryRecord struct {
+	// ID is the query's 1-based submission sequence number.
+	ID uint64
+	// Messages is the overlay message count the query produced.
+	Messages int
+	// Success reports whether the query was satisfied.
+	Success bool
+	// DownloadRTTMs is the requester→provider RTT in ms (successes only).
+	DownloadRTTMs float64
+	// SameLocality reports a download served from the requester's locality.
+	SameLocality bool
+	// FromCache reports a hit answered from a response index.
+	FromCache bool
+	// Hops is the overlay hop count to the first hit.
+	Hops int
 }
 
 func newResult(p Protocol, r *core.RunResult) *Result {
+	var records []QueryRecord
+	if recs := r.Collector.Records(); recs != nil {
+		records = make([]QueryRecord, len(recs))
+		for i, rec := range recs {
+			records[i] = QueryRecord{
+				ID:            rec.ID,
+				Messages:      rec.Messages,
+				Success:       rec.Success,
+				DownloadRTTMs: rec.DownloadRTT,
+				SameLocality:  rec.SameLocality,
+				FromCache:     rec.FromCache,
+				Hops:          rec.Hops,
+			}
+		}
+	}
 	return &Result{
 		Protocol:              p,
 		Queries:               r.Collector.Submitted(),
@@ -279,6 +324,7 @@ func newResult(p Protocol, r *core.RunResult) *Result {
 		CachedProviderEntries: r.CacheProviderEntries,
 		SimulatedSeconds:      r.Duration.Seconds(),
 		Events:                r.Events,
+		Records:               records,
 	}
 }
 
