@@ -25,6 +25,12 @@
 //	locaware-exp -ablation groups      # Dicas group count M sweep
 //	locaware-exp -extension lr         # location-aware routing (§6)
 //	locaware-exp -extension churn      # churn resilience
+//
+// Scenarios (phased network dynamics with per-phase metrics):
+//
+//	locaware-exp -scenario list        # built-in registry
+//	locaware-exp -scenario flashcrowd  # run a built-in scenario
+//	locaware-exp -scenario my.json     # run a custom JSON spec
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	locaware "github.com/p2prepro/locaware"
 )
@@ -42,6 +49,7 @@ func main() {
 		fig        = flag.String("fig", "", "figure to regenerate: 2|3|4|all")
 		ablation   = flag.String("ablation", "", "ablation: landmarks|cachesize|bloom|groups")
 		ext        = flag.String("extension", "", "extension: lr|churn")
+		scen       = flag.String("scenario", "", "phased-dynamics scenario: a built-in name, a JSON spec path, or 'list'")
 		peers      = flag.Int("peers", 1000, "number of peers")
 		warmup     = flag.Int("warmup", 1000, "warmup queries")
 		queries    = flag.Int("queries", 2000, "measured queries")
@@ -83,9 +91,62 @@ func main() {
 		runAblation(opts, *ablation, *warmup, *queries)
 	case *ext != "":
 		runExtension(opts, *ext, *warmup, *queries)
+	case *scen != "":
+		runScenario(opts, *scen, *warmup, *queries)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// resolveScenario turns the -scenario argument into a scenario: a built-in
+// name first, else a JSON spec file.
+func resolveScenario(arg string) (*locaware.Scenario, error) {
+	if sc, err := locaware.ScenarioByName(arg); err == nil {
+		return sc, nil
+	} else if !strings.ContainsAny(arg, "./\\") {
+		return nil, err
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("reading scenario spec: %w", err)
+	}
+	return locaware.ParseScenario(data)
+}
+
+func runScenario(opts locaware.Options, arg string, warmup, queries int) {
+	if arg == "list" {
+		fmt.Println("== Built-in scenarios")
+		for _, name := range locaware.ScenarioNames() {
+			sc, err := locaware.ScenarioByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-16s %-10s %s\n", sc.Name(),
+				fmt.Sprintf("%d phases", len(sc.PhaseNames())), sc.Description())
+		}
+		return
+	}
+	sc, err := resolveScenario(arg)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Scenario = sc
+	if opts.Trials > 1 {
+		fmt.Println("(scenario runs are single-trial; ignoring -trials)")
+		opts.Trials = 1
+	}
+	fmt.Printf("== Scenario %q: %s\n", sc.Name(), sc.Description())
+	fmt.Printf("phases: %s over %d measured queries\n\n", strings.Join(sc.PhaseNames(), " → "), queries)
+	cmp, err := locaware.Compare(opts, locaware.Baselines(), warmup, queries, nil)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range cmp.Results {
+		fmt.Printf("-- %s (whole run: success=%.3f msgs/q=%.1f rtt=%.1fms)\n",
+			r.Protocol, r.SuccessRate, r.AvgMessagesPerQuery, r.AvgDownloadRTTMs)
+		fmt.Print(locaware.PhaseTable(r.Phases))
+		fmt.Println()
 	}
 }
 

@@ -6,10 +6,13 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/p2prepro/locaware/internal/cache"
 	"github.com/p2prepro/locaware/internal/netmodel"
 	"github.com/p2prepro/locaware/internal/overlay"
 	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/scenario"
 	"github.com/p2prepro/locaware/internal/sim"
 	"github.com/p2prepro/locaware/internal/workload"
 )
@@ -48,10 +51,19 @@ type Config struct {
 	// bounds, Bloom sizing).
 	Protocol protocol.Config
 
-	// Churn, when enabled, applies on/off churn every ChurnInterval.
+	// Churn, when enabled, applies on/off churn every ChurnInterval. It is
+	// the legacy whole-run dynamics switch, now lowered onto the scenario
+	// engine as the built-in steady-churn spec (bit-identical output);
+	// Scenario, when set, wins.
 	ChurnEnabled  bool
 	Churn         overlay.ChurnConfig
 	ChurnInterval sim.Time
+
+	// Scenario, when non-nil, runs the simulation under a phased-dynamics
+	// timeline (churn waves, flash crowds, content and link dynamics) and
+	// segments the measured metrics per phase. Entry points resolve the
+	// phase grid with ResolveScenario before building the simulation.
+	Scenario *scenario.Spec
 }
 
 // DefaultConfig returns the paper's evaluation setup (§5.1).
@@ -130,4 +142,35 @@ func (c Config) withDefaults() Config {
 		c.Churn = d.Churn
 	}
 	return c
+}
+
+// effectiveScenario returns the scenario the run executes: the explicit
+// spec, the steady-churn lowering of the legacy churn flag, or nil.
+func (c Config) effectiveScenario() *scenario.Spec {
+	if c.Scenario != nil {
+		return c.Scenario
+	}
+	if c.ChurnEnabled {
+		return scenario.SteadyChurn(c.Churn, c.ChurnInterval)
+	}
+	return nil
+}
+
+// ResolveScenario threads cfg's scenario phase grid for a run of
+// `measured` measured queries into the collector configuration, so the
+// streaming collector seals a full-metric window per phase during the run.
+// Every entry point calls it before NewSimulation; it is a no-op without a
+// scenario. It panics on an unresolvable grid (fewer measured queries than
+// phases) — the public facade validates specs before running.
+func ResolveScenario(cfg Config, measured int) Config {
+	spec := cfg.withDefaults().effectiveScenario()
+	if spec == nil {
+		return cfg
+	}
+	marks, err := spec.Marks(measured)
+	if err != nil {
+		panic(fmt.Sprintf("core: resolving scenario: %v", err))
+	}
+	cfg.Protocol.Collector.Phases = marks
+	return cfg
 }

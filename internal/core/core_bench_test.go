@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/scenario"
 )
 
 // benchConfig is a mid-scale world with accelerated arrivals, large enough
@@ -48,6 +49,53 @@ func BenchmarkMeasuredPathAllocs(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(mallocs)/float64(uint64(b.N)*queries), "allocs/query")
+}
+
+// BenchmarkScenarioOverhead proves the scenario engine is free when idle:
+// the no-op baseline scenario (one steady phase, no dynamics) adds one
+// branch per submission and one phase accumulator to the PR 2 hot path, so
+// its allocs/query must match the scenario-less measured path — compare
+// the scenario=off and scenario=baseline sub-benchmarks.
+func BenchmarkScenarioOverhead(b *testing.B) {
+	const queries = 500
+	for _, withScenario := range []bool{false, true} {
+		name := "scenario=off"
+		if withScenario {
+			name = "scenario=baseline"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var mallocs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := benchConfig(2000, int64(i+1))
+				cfg.Protocol.Collector.Checkpoints = []int{100, 200, 300, 400, 500}
+				if withScenario {
+					cfg.Scenario, _ = scenario.Lookup("baseline")
+					cfg = ResolveScenario(cfg, queries)
+				}
+				s := NewSimulation(cfg, protocol.Locaware{})
+				var m0, m1 runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&m0)
+				b.StartTimer()
+				res := s.RunMeasured(0, queries)
+				b.StopTimer()
+				runtime.ReadMemStats(&m1)
+				mallocs += m1.Mallocs - m0.Mallocs
+				if res.Collector.Submitted() != queries {
+					b.Fatalf("submitted %d queries", res.Collector.Submitted())
+				}
+				if withScenario && len(res.Collector.PhaseWindows()) != 1 {
+					b.Fatal("baseline scenario must seal exactly one phase window")
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(mallocs)/float64(uint64(b.N)*queries), "allocs/query")
+		})
+	}
 }
 
 // BenchmarkCollectorFootprint contrasts the two measurement modes on the

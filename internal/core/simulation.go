@@ -9,6 +9,7 @@ import (
 	"github.com/p2prepro/locaware/internal/netmodel"
 	"github.com/p2prepro/locaware/internal/overlay"
 	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/scenario"
 	"github.com/p2prepro/locaware/internal/sim"
 	"github.com/p2prepro/locaware/internal/workload"
 )
@@ -27,6 +28,7 @@ type Simulation struct {
 
 	gen       *workload.Generator
 	placement *workload.Placement
+	scenario  *scenario.Runtime
 }
 
 // NewSimulation assembles a simulation for the behaviour. All randomness
@@ -84,19 +86,28 @@ func NewSimulation(cfg Config, b protocol.Behavior) *Simulation {
 		placement: placement,
 	}
 
-	if cfg.ChurnEnabled {
-		churnRng := rng.Stream("churn")
-		eng.Every(cfg.ChurnInterval, func(*sim.Engine) bool {
-			left, joined := overlay.ChurnStep(graph, cfg.Churn, churnRng)
-			for _, p := range left {
-				// Departed peers' own indexes die with them; survivors'
-				// indexes pointing at them become stale and are filtered
-				// at selection time.
-				_ = p
-			}
-			_ = joined
-			return true
-		})
+	// Dynamics run through the scenario engine; the legacy whole-run churn
+	// flag lowers onto the built-in steady-churn spec, which schedules the
+	// same periodic control on the same RNG stream the ad-hoc path used —
+	// departed peers' own indexes die with them, survivors' indexes
+	// pointing at them become stale and are filtered at selection time.
+	if spec := cfg.effectiveScenario(); spec != nil {
+		rt, err := scenario.Attach(spec, scenario.World{
+			Engine:        eng,
+			Graph:         graph,
+			Model:         model,
+			Locator:       locator,
+			Catalog:       catalog,
+			Gen:           s.gen,
+			Net:           net,
+			ChurnDefaults: cfg.Churn,
+		}, rng.Stream("churn"), rng.Stream("scenario"))
+		if err != nil {
+			// The facade validates specs before building; reaching here is
+			// a programming error.
+			panic(fmt.Sprintf("core: attaching scenario: %v", err))
+		}
+		s.scenario = rt
 	}
 	return s
 }
@@ -147,6 +158,14 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 	if total <= 0 {
 		panic("core: RunMeasured needs at least one query")
 	}
+	if s.scenario != nil {
+		// Fix the phase timeline now that the measured count is known;
+		// phase entries then ride the submission events below, so the
+		// whole timeline is part of the deterministic event order.
+		if err := s.scenario.BeginMeasured(measured); err != nil {
+			panic(fmt.Sprintf("core: scenario timeline: %v", err))
+		}
+	}
 	var deadline sim.Time
 	var schedule func(i int, ev workload.QueryEvent)
 	schedule = func(i int, ev workload.QueryEvent) {
@@ -162,6 +181,9 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 			}
 		}
 		if err := s.Engine.PostAt(ev.At, func(*sim.Engine) {
+			if s.scenario != nil && i >= warmup {
+				s.scenario.OnSubmit(i - warmup)
+			}
 			s.Network.SubmitQuery(overlay.PeerID(ev.Requester), ev.Q)
 			if i+1 < total {
 				schedule(i+1, s.gen.Next())

@@ -96,6 +96,7 @@ func summarize(runs []*RunResult) TrialSummary {
 // replaced by sim.TrialSeed(cfg.Seed, t); everything else is shared, so the
 // trials sample seed space at one parameter point.
 func RunTrials(cfg Config, b protocol.Behavior, topt TrialOptions, warmup, measured int) *TrialCell {
+	cfg = ResolveScenario(cfg, measured)
 	trials := topt.trials()
 	seeds := make([]int64, trials)
 	for t := range seeds {
@@ -133,6 +134,7 @@ type TrialComparison struct {
 // worker pool, so even a single-trial comparison parallelises across
 // behaviours. Results are identical for every worker count.
 func RunTrialComparison(cfg Config, behaviors []protocol.Behavior, topt TrialOptions, warmup, numQueries int, checkpoints []int) *TrialComparison {
+	cfg = ResolveScenario(cfg, numQueries)
 	trials := topt.trials()
 	cmp := &TrialComparison{
 		Cells:       make(map[string]*TrialCell, len(behaviors)),

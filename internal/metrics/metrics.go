@@ -54,11 +54,26 @@ type CollectorConfig struct {
 	// the run; without them (and without RetainRecords) only the whole-run
 	// scalar metrics are available.
 	Checkpoints []int
+	// Phases segments the query stream into named contiguous spans
+	// (scenario phases): each mark closes the span (prevEnd, End] under its
+	// name. Like checkpoint windows, phase windows are sealed by streaming
+	// accumulators during the run — per-phase state is O(phases), never
+	// O(queries) — and they carry the full metric set (PhaseWindow), not
+	// just the three figure metrics. Ends must be ascending and positive.
+	Phases []PhaseMark
 	// RetainRecords keeps the full per-query record stream in memory, so
 	// Records() works and Windows/CumulativeWindows accept arbitrary
 	// checkpoint lists (replayed from the records). This is the
 	// full-fidelity trace mode; memory grows O(queries).
 	RetainRecords bool
+}
+
+// PhaseMark names the query count at which a scenario phase ends.
+type PhaseMark struct {
+	// Name identifies the phase in per-phase reports.
+	Name string
+	// End is the cumulative query count closing the phase (inclusive).
+	End int
 }
 
 // windowAcc is the constant-size accumulator of one in-progress figure
@@ -68,6 +83,50 @@ type windowAcc struct {
 	messages  int
 	successes int
 	rttSum    float64
+}
+
+// phaseAcc is the constant-size accumulator of one in-progress scenario
+// phase; unlike the figure windows it tracks the full metric set.
+type phaseAcc struct {
+	queries   int
+	messages  int
+	successes int
+	sameLoc   int
+	fromCache int
+	rttSum    float64
+	hopsSum   float64
+}
+
+func (a *phaseAcc) add(r QueryRecord) {
+	a.queries++
+	a.messages += r.Messages
+	if r.Success {
+		a.successes++
+		a.rttSum += r.DownloadRTT
+		a.hopsSum += float64(r.Hops)
+		if r.SameLocality {
+			a.sameLoc++
+		}
+		if r.FromCache {
+			a.fromCache++
+		}
+	}
+}
+
+// window converts the accumulator into a sealed PhaseWindow.
+func (a *phaseAcc) window(name string, start, end int) PhaseWindow {
+	w := PhaseWindow{Name: name, Start: start, End: end, Queries: a.queries}
+	if a.queries > 0 {
+		w.MessagesPerQuery = float64(a.messages) / float64(a.queries)
+		w.SuccessRate = float64(a.successes) / float64(a.queries)
+	}
+	w.DownloadRTT = meanOrZero(a.rttSum, a.successes)
+	w.AvgHops = meanOrZero(a.hopsSum, a.successes)
+	if a.successes > 0 {
+		w.SameLocalityRate = float64(a.sameLoc) / float64(a.successes)
+		w.CacheHitRate = float64(a.fromCache) / float64(a.successes)
+	}
+	return w
 }
 
 // Collector accumulates query outcomes for one protocol run as O(1)
@@ -91,6 +150,12 @@ type Collector struct {
 	nextCk    int
 	win       windowAcc
 
+	// Sealed scenario-phase windows; nextPhase indexes the first unsealed
+	// phase mark and pacc accumulates the phase in progress.
+	phaseSealed []PhaseWindow
+	nextPhase   int
+	pacc        phaseAcc
+
 	// records is populated only in RetainRecords mode.
 	records []QueryRecord
 }
@@ -111,10 +176,20 @@ func NewCollectorWith(cfg CollectorConfig) *Collector {
 		}
 		prev = ck
 	}
+	prev = 0
+	for _, pm := range cfg.Phases {
+		if pm.End <= prev {
+			panic(fmt.Sprintf("metrics: phase marks must be ascending and positive, got %v", cfg.Phases))
+		}
+		prev = pm.End
+	}
 	c := &Collector{cfg: cfg}
 	if n := len(cfg.Checkpoints); n > 0 {
 		c.sealed = make([]Window, 0, n)
 		c.cumSealed = make([]Window, 0, n)
+	}
+	if n := len(cfg.Phases); n > 0 {
+		c.phaseSealed = make([]PhaseWindow, 0, n)
 	}
 	return c
 }
@@ -149,6 +224,26 @@ func (c *Collector) Record(r QueryRecord) {
 	if c.nextCk < len(c.cfg.Checkpoints) && c.submitted == c.cfg.Checkpoints[c.nextCk] {
 		c.seal()
 	}
+	// Fold the record into the scenario phase in progress and seal it at
+	// the phase boundary.
+	if c.nextPhase < len(c.cfg.Phases) {
+		c.pacc.add(r)
+		if c.submitted == c.cfg.Phases[c.nextPhase].End {
+			c.sealPhase()
+		}
+	}
+}
+
+// sealPhase closes the in-progress phase window at the current count.
+func (c *Collector) sealPhase() {
+	start := 0
+	if n := len(c.phaseSealed); n > 0 {
+		start = c.phaseSealed[n-1].End
+	}
+	c.phaseSealed = append(c.phaseSealed,
+		c.pacc.window(c.cfg.Phases[c.nextPhase].Name, start, c.submitted))
+	c.pacc = phaseAcc{}
+	c.nextPhase++
 }
 
 // seal closes the in-progress window at the current query count and
@@ -242,6 +337,44 @@ func (c *Collector) Records() []QueryRecord {
 	}
 	out := make([]QueryRecord, len(c.records))
 	copy(out, c.records)
+	return out
+}
+
+// PhaseWindow is the full metric set of one scenario phase, covering the
+// queries in (Start, End] of the measured stream.
+type PhaseWindow struct {
+	// Name is the phase's name from the scenario spec.
+	Name string
+	// Start (exclusive) and End (inclusive) bound the phase's cumulative
+	// query counts; Queries is the number actually recorded in the span.
+	Start, End, Queries int
+	// The §5 figure metrics over the phase.
+	DownloadRTT      float64
+	MessagesPerQuery float64
+	SuccessRate      float64
+	// The secondary metrics over the phase (success-conditioned, like the
+	// whole-run scalars).
+	SameLocalityRate float64
+	CacheHitRate     float64
+	AvgHops          float64
+}
+
+// PhaseWindows returns the sealed scenario-phase windows, plus a partial
+// window for an in-progress phase with at least one recorded query — a
+// truncated run reports what it measured instead of dropping its tail. It
+// returns nil when the collector was built without phase marks.
+func (c *Collector) PhaseWindows() []PhaseWindow {
+	if len(c.cfg.Phases) == 0 {
+		return nil
+	}
+	out := append(make([]PhaseWindow, 0, len(c.phaseSealed)+1), c.phaseSealed...)
+	if c.nextPhase < len(c.cfg.Phases) && c.pacc.queries > 0 {
+		start := 0
+		if n := len(out); n > 0 {
+			start = out[n-1].End
+		}
+		out = append(out, c.pacc.window(c.cfg.Phases[c.nextPhase].Name, start, c.submitted))
+	}
 	return out
 }
 

@@ -265,3 +265,100 @@ func TestAggregateWindowsEmpty(t *testing.T) {
 		t.Fatalf("AggregateWindows(empty) = %v", got)
 	}
 }
+
+func TestPhaseWindows(t *testing.T) {
+	c := NewCollectorWith(CollectorConfig{Phases: []PhaseMark{
+		{Name: "calm", End: 2}, {Name: "storm", End: 4}, {Name: "after", End: 6},
+	}})
+	c.Record(QueryRecord{Messages: 10, Success: true, DownloadRTT: 100, SameLocality: true, FromCache: true, Hops: 2})
+	c.Record(QueryRecord{Messages: 20})
+	c.Record(QueryRecord{Messages: 2, Success: true, DownloadRTT: 50, Hops: 4})
+	c.Record(QueryRecord{Messages: 4, Success: true, DownloadRTT: 70, SameLocality: true, Hops: 2})
+	c.Record(QueryRecord{Messages: 8})
+
+	// Two sealed phases plus the in-progress partial third.
+	ws := c.PhaseWindows()
+	if len(ws) != 3 {
+		t.Fatalf("got %d phase windows, want 3: %+v", len(ws), ws)
+	}
+	calm := ws[0]
+	if calm.Name != "calm" || calm.Start != 0 || calm.End != 2 || calm.Queries != 2 {
+		t.Fatalf("calm span = %+v", calm)
+	}
+	if calm.MessagesPerQuery != 15 || calm.SuccessRate != 0.5 || calm.DownloadRTT != 100 {
+		t.Fatalf("calm figures = %+v", calm)
+	}
+	if calm.SameLocalityRate != 1 || calm.CacheHitRate != 1 || calm.AvgHops != 2 {
+		t.Fatalf("calm secondary = %+v", calm)
+	}
+	storm := ws[1]
+	if storm.Name != "storm" || storm.Start != 2 || storm.End != 4 || storm.Queries != 2 {
+		t.Fatalf("storm span = %+v", storm)
+	}
+	if storm.SuccessRate != 1 || storm.DownloadRTT != 60 || storm.AvgHops != 3 {
+		t.Fatalf("storm figures = %+v", storm)
+	}
+	if storm.SameLocalityRate != 0.5 || storm.CacheHitRate != 0 {
+		t.Fatalf("storm secondary = %+v", storm)
+	}
+	partial := ws[2]
+	if partial.Name != "after" || partial.Start != 4 || partial.End != 5 || partial.Queries != 1 {
+		t.Fatalf("partial span = %+v", partial)
+	}
+	if partial.MessagesPerQuery != 8 || partial.SuccessRate != 0 {
+		t.Fatalf("partial figures = %+v", partial)
+	}
+
+	// Completing the run seals the final phase at its mark.
+	c.Record(QueryRecord{Messages: 6, Success: true, DownloadRTT: 30, Hops: 1})
+	ws = c.PhaseWindows()
+	if len(ws) != 3 || ws[2].End != 6 || ws[2].Queries != 2 {
+		t.Fatalf("final phase = %+v", ws[len(ws)-1])
+	}
+	if ws[2].MessagesPerQuery != 7 || ws[2].SuccessRate != 0.5 || ws[2].DownloadRTT != 30 {
+		t.Fatalf("final figures = %+v", ws[2])
+	}
+}
+
+func TestPhaseWindowsIndependentOfCheckpoints(t *testing.T) {
+	// Phase marks and figure checkpoints are separate grids over the same
+	// stream; configuring both must not perturb either.
+	grid := []int{2, 4}
+	with := NewCollectorWith(CollectorConfig{Checkpoints: grid, Phases: []PhaseMark{{Name: "all", End: 4}}})
+	without := NewCollectorWith(CollectorConfig{Checkpoints: grid})
+	recs := []QueryRecord{
+		{Messages: 3, Success: true, DownloadRTT: 90, Hops: 1},
+		{Messages: 5},
+		{Messages: 7, Success: true, DownloadRTT: 10, Hops: 2},
+		{Messages: 9},
+	}
+	for _, r := range recs {
+		with.Record(r)
+		without.Record(r)
+	}
+	a, b := with.Windows(grid), without.Windows(grid)
+	if len(a) != len(b) {
+		t.Fatalf("window counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d drifted with phases configured: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	ws := with.PhaseWindows()
+	if len(ws) != 1 || ws[0].Queries != 4 || ws[0].MessagesPerQuery != 6 || ws[0].SuccessRate != 0.5 {
+		t.Fatalf("phase window = %+v", ws)
+	}
+	if without.PhaseWindows() != nil {
+		t.Fatal("collector without phase marks invented phase windows")
+	}
+}
+
+func TestPhaseMarkValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misordered phase marks must panic")
+		}
+	}()
+	NewCollectorWith(CollectorConfig{Phases: []PhaseMark{{Name: "a", End: 5}, {Name: "b", End: 5}}})
+}

@@ -23,14 +23,22 @@ func DefaultLatency() LatencyConfig {
 	return LatencyConfig{MinRTT: 10, MaxRTT: 500, Jitter: 0.1}
 }
 
-// Model is an immutable physical-network instance: peer coordinates plus the
-// distance→RTT mapping. All methods are safe for concurrent readers.
+// Model is a physical-network instance: peer coordinates plus the
+// distance→RTT mapping. The geometry is immutable and all read methods are
+// safe for concurrent readers; the optional per-peer latency factors
+// (regional-degradation dynamics) are written only between events on the
+// owning simulation's engine goroutine.
 type Model struct {
 	cfg    LatencyConfig
 	pts    []Point
 	diag   float64 // plane diagonal used for normalisation
 	jseed  int64
 	maxDim float64
+
+	// factors, when non-nil, holds a per-peer RTT inflation multiplier
+	// (>= 1); a path's factor is the max of its endpoints'. nil means no
+	// degradation anywhere and costs the hot path one pointer check.
+	factors []float64
 
 	// jmu/jcache memoise jittered pair RTTs: deriving the per-pair jitter
 	// stream costs a rand.Rand allocation, which on the simulator's hot
@@ -91,7 +99,7 @@ func (m *Model) RTT(a, b int) float64 {
 	}
 	base := m.rttTo(m.pts[a], m.pts[b])
 	if m.cfg.Jitter <= 0 {
-		return base
+		return m.degrade(a, b, base)
 	}
 	lo, hi := a, b
 	if lo > hi {
@@ -101,7 +109,7 @@ func (m *Model) RTT(a, b int) float64 {
 	m.jmu.Lock()
 	if rtt, ok := m.jcache[key]; ok {
 		m.jmu.Unlock()
-		return rtt
+		return m.degrade(a, b, rtt)
 	}
 	m.jmu.Unlock()
 	// Deterministic symmetric jitter: seed from unordered pair identity.
@@ -122,8 +130,57 @@ func (m *Model) RTT(a, b int) float64 {
 		m.jcache[key] = rtt
 	}
 	m.jmu.Unlock()
+	return m.degrade(a, b, rtt)
+}
+
+// degrade applies the regional-degradation factor to a path's RTT: the
+// jitter cache stores healthy values, so clearing the factors restores the
+// exact pre-degradation latencies.
+func (m *Model) degrade(a, b int, rtt float64) float64 {
+	if m.factors == nil {
+		return rtt
+	}
+	f := m.factors[a]
+	if m.factors[b] > f {
+		f = m.factors[b]
+	}
+	if f > 1 {
+		rtt *= f
+	}
 	return rtt
 }
+
+// SetLatencyFactor inflates every path touching peer i by factor (regional
+// degradation). Factors below 1 are clamped to 1: the model degrades
+// regions, it never accelerates them. Unlike the read methods, it must not
+// race concurrent RTT calls; scenario dynamics invoke it between simulator
+// events on the engine goroutine.
+func (m *Model) SetLatencyFactor(i int, factor float64) {
+	if i < 0 || i >= len(m.pts) {
+		return
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	if m.factors == nil {
+		m.factors = make([]float64, len(m.pts))
+		for j := range m.factors {
+			m.factors[j] = 1
+		}
+	}
+	m.factors[i] = factor
+}
+
+// LatencyFactor returns peer i's current RTT inflation (1 when healthy).
+func (m *Model) LatencyFactor(i int) float64 {
+	if m.factors == nil || i < 0 || i >= len(m.factors) {
+		return 1
+	}
+	return m.factors[i]
+}
+
+// ClearLatencyFactors restores every path to its healthy latency.
+func (m *Model) ClearLatencyFactors() { m.factors = nil }
 
 // RTTToPoint returns the RTT in milliseconds between peer a and an arbitrary
 // point (used for landmark probes). No jitter is applied: landmark probes in

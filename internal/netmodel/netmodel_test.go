@@ -378,3 +378,41 @@ func TestClampHelper(t *testing.T) {
 		t.Skip("NaN propagates; acceptable")
 	}
 }
+
+func TestLatencyFactorsDegradeAndRestore(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := Place(20, DefaultPlacement(), r)
+	m := NewModel(pts, DefaultPlacement().Side, DefaultLatency(), 3)
+
+	healthy01 := m.RTT(0, 1)
+	healthy23 := m.RTT(2, 3)
+	m.SetLatencyFactor(0, 3)
+	if got := m.RTT(0, 1); got != 3*healthy01 {
+		t.Fatalf("degraded RTT(0,1) = %v, want %v", got, 3*healthy01)
+	}
+	if got := m.RTT(1, 0); got != 3*healthy01 {
+		t.Fatalf("degradation must stay symmetric: %v", got)
+	}
+	if got := m.RTT(2, 3); got != healthy23 {
+		t.Fatalf("unrelated pair inflated: %v vs %v", got, healthy23)
+	}
+	if m.LatencyFactor(0) != 3 || m.LatencyFactor(1) != 1 {
+		t.Fatalf("factors = %v, %v", m.LatencyFactor(0), m.LatencyFactor(1))
+	}
+	// A path's factor is the max of its endpoints', and factors below 1
+	// clamp to 1 (no acceleration).
+	m.SetLatencyFactor(1, 0.25)
+	if got := m.RTT(0, 1); got != 3*healthy01 {
+		t.Fatalf("max-endpoint rule broken: %v", got)
+	}
+	if m.LatencyFactor(1) != 1 {
+		t.Fatalf("sub-1 factor not clamped: %v", m.LatencyFactor(1))
+	}
+	if m.RTT(0, 0) != 0 {
+		t.Fatal("self RTT must stay zero")
+	}
+	m.ClearLatencyFactors()
+	if got := m.RTT(0, 1); got != healthy01 {
+		t.Fatalf("restore drifted: %v vs healthy %v", got, healthy01)
+	}
+}

@@ -29,6 +29,69 @@ func DefaultChurn() ChurnConfig {
 	}
 }
 
+// BurstLeave takes approximately frac of the online peers offline in one
+// wave — the correlated mass departure of a churn-wave scenario, as opposed
+// to ChurnStep's independent per-peer process. Connectivity is patched the
+// same way churn departures are. minOnlineFrac floors the surviving online
+// population (of g.N()); the wave never shrinks below it. The departed
+// peers are returned in departure order.
+func BurstLeave(g *Graph, frac, minOnlineFrac float64, maxDegree int, r *rand.Rand) []PeerID {
+	if frac <= 0 {
+		return nil
+	}
+	online := make([]PeerID, 0, g.N())
+	for i := 0; i < g.N(); i++ {
+		if g.Online(PeerID(i)) {
+			online = append(online, PeerID(i))
+		}
+	}
+	count := int(frac*float64(len(online)) + 0.5)
+	if floor := int(minOnlineFrac * float64(g.N())); len(online)-count < floor {
+		count = len(online) - floor
+	}
+	if count <= 0 {
+		return nil
+	}
+	r.Shuffle(len(online), func(i, j int) { online[i], online[j] = online[j], online[i] })
+	left := make([]PeerID, 0, count)
+	for _, p := range online[:count] {
+		former := g.Leave(p)
+		RepairAfterLeave(g, former, 1, maxDegree)
+		left = append(left, p)
+	}
+	return left
+}
+
+// BurstJoin brings approximately frac of the offline peers back online in
+// one wave, rewiring each to ~avgDegree random online neighbours. It
+// returns the joined peers in join order.
+func BurstJoin(g *Graph, frac, avgDegree float64, maxDegree int, r *rand.Rand) []PeerID {
+	if frac <= 0 {
+		return nil
+	}
+	offline := make([]PeerID, 0, g.N())
+	for i := 0; i < g.N(); i++ {
+		if p := PeerID(i); !g.Online(p) {
+			offline = append(offline, p)
+		}
+	}
+	count := int(frac*float64(len(offline)) + 0.5)
+	if count > len(offline) {
+		count = len(offline)
+	}
+	if count <= 0 {
+		return nil
+	}
+	r.Shuffle(len(offline), func(i, j int) { offline[i], offline[j] = offline[j], offline[i] })
+	joined := make([]PeerID, 0, count)
+	for _, p := range offline[:count] {
+		_ = g.Join(p)
+		RewireJoin(g, p, avgDegree, maxDegree, r)
+		joined = append(joined, p)
+	}
+	return joined
+}
+
 // ChurnStep applies one round of the churn process to g and returns the
 // peers that left and those that joined during this round.
 func ChurnStep(g *Graph, cfg ChurnConfig, r *rand.Rand) (left, joined []PeerID) {

@@ -321,3 +321,65 @@ func mustLink(t *testing.T, g *Graph, a, b PeerID) {
 		t.Fatalf("AddLink(%d,%d): %v", a, b, err)
 	}
 }
+
+func TestBurstLeaveAndJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	g := BuildRandom(200, DefaultBuild(), r)
+
+	left := BurstLeave(g, 0.25, 0.5, 12, r)
+	if len(left) != 50 {
+		t.Fatalf("wave departed %d peers, want 50", len(left))
+	}
+	if g.OnlineCount() != 150 {
+		t.Fatalf("online after wave = %d", g.OnlineCount())
+	}
+	for _, p := range left {
+		if g.Online(p) || g.Degree(p) != 0 {
+			t.Fatalf("departed peer %d still wired", p)
+		}
+	}
+
+	// The floor caps a wave that would collapse the overlay.
+	left = BurstLeave(g, 1.0, 0.5, 12, r)
+	if g.OnlineCount() != 100 {
+		t.Fatalf("floor breached: %d online", g.OnlineCount())
+	}
+	_ = left
+
+	joined := BurstJoin(g, 1.0, 3, 12, r)
+	if len(joined) != 100 || g.OnlineCount() != 200 {
+		t.Fatalf("rejoin brought back %d, online %d", len(joined), g.OnlineCount())
+	}
+	for _, p := range joined {
+		if !g.Online(p) || g.Degree(p) == 0 {
+			t.Fatalf("rejoined peer %d not rewired", p)
+		}
+	}
+
+	if got := BurstLeave(g, 0, 0.5, 12, r); got != nil {
+		t.Fatalf("zero-intensity wave departed %v", got)
+	}
+	if got := BurstJoin(g, 0.5, 3, 12, r); got != nil {
+		t.Fatalf("join with nobody offline returned %v", got)
+	}
+}
+
+func TestBurstLeaveDeterministic(t *testing.T) {
+	build := func() (*Graph, []PeerID) {
+		g := BuildRandom(120, DefaultBuild(), rand.New(rand.NewSource(5)))
+		return g, BurstLeave(g, 0.3, 0.2, 12, rand.New(rand.NewSource(6)))
+	}
+	g1, l1 := build()
+	g2, l2 := build()
+	if len(l1) != len(l2) {
+		t.Fatalf("wave sizes differ: %d vs %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("departure order differs at %d: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+	if g1.Edges() != g2.Edges() || g1.OnlineCount() != g2.OnlineCount() {
+		t.Fatal("post-wave graphs differ")
+	}
+}

@@ -101,6 +101,19 @@ func (n *Node) setNeighborBloom(nb overlay.PeerID, f *bloom.Filter) {
 // AddFile inserts f into the node's shared storage.
 func (n *Node) AddFile(f keywords.Filename) { n.files[f.String()] = f }
 
+// RemoveFile withdraws filename f from the node's shared storage (content
+// dynamics: providers deleting files mid-run). It reports whether the file
+// was present. Response indexes elsewhere keep advertising the peer until
+// their entries age out — exactly the staleness a real withdrawal causes.
+func (n *Node) RemoveFile(f keywords.Filename) bool {
+	name := f.String()
+	if _, ok := n.files[name]; !ok {
+		return false
+	}
+	delete(n.files, name)
+	return true
+}
+
 // HasFile reports whether the node shares filename f.
 func (n *Node) HasFile(f keywords.Filename) bool {
 	_, ok := n.files[f.String()]

@@ -1,0 +1,342 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/p2prepro/locaware/internal/netmodel"
+	"github.com/p2prepro/locaware/internal/overlay"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/workload"
+)
+
+// World is the assembled simulation a scenario acts on. All pointers are
+// owned by one simulation; the runtime mutates them only from the engine
+// goroutine, between events, so no protocol code ever observes a
+// half-applied phase.
+type World struct {
+	Engine  *sim.Engine
+	Graph   *overlay.Graph
+	Model   *netmodel.Model
+	Locator *netmodel.Locator
+	Catalog *workload.Catalog
+	Gen     *workload.Generator
+	Net     *protocol.Network
+	// ChurnDefaults supplies the degree targets (AvgDegree, MaxDegree)
+	// used whenever churn or a wave rewires peers, and the default
+	// online-population floor.
+	ChurnDefaults overlay.ChurnConfig
+}
+
+// Runtime executes one Spec against one World. It is created by Attach at
+// simulation build time and driven by the experiment loop: BeginMeasured
+// fixes the phase boundaries once the measured query count is known, and
+// OnSubmit advances the timeline as measured queries are submitted.
+type Runtime struct {
+	spec *Spec
+	w    World
+
+	// churnRng drives the periodic churn process; it is a dedicated
+	// stream so scenario events never perturb it (and the steady-churn
+	// lowering of the legacy churn flag stays bit-identical). eventRng
+	// drives everything else.
+	churnRng *rand.Rand
+	eventRng *rand.Rand
+
+	// starts[k] is the 0-based measured query index at which phase k
+	// enters; resolved by BeginMeasured. current indexes the active phase.
+	starts  []int
+	current int
+
+	// activeChurn is the churn intensity of the current phase (nil = the
+	// periodic process idles this phase).
+	activeChurn *overlay.ChurnConfig
+
+	// originalTargets and originalZipfS snapshot the popularity ranking
+	// and exponent at attach so a calm event can restore the pre-crowd
+	// world.
+	originalTargets []workload.FileID
+	originalZipfS   float64
+}
+
+// Attach validates the spec, wires the periodic churn control into the
+// engine (when any phase uses churn), and applies phase 0 — whose dynamics
+// are active from simulation start, warmup included. It must be called at
+// simulation build time, before any events run.
+func Attach(spec *Spec, w World, churnRng, eventRng *rand.Rand) (*Runtime, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		spec:            spec,
+		w:               w,
+		churnRng:        churnRng,
+		eventRng:        eventRng,
+		originalTargets: w.Gen.Targets(),
+		originalZipfS:   w.Gen.ZipfS(),
+	}
+	if spec.HasChurn() {
+		// The control is always scheduled (fixed event cadence) and the
+		// per-phase config decides whether a tick consumes churn
+		// randomness — so phases that pause churn cannot shift the event
+		// sequence numbers of phases that resume it.
+		w.Engine.Every(spec.ChurnInterval(), func(*sim.Engine) bool {
+			if rt.activeChurn != nil {
+				overlay.ChurnStep(rt.w.Graph, *rt.activeChurn, rt.churnRng)
+			}
+			return true
+		})
+	}
+	rt.enterPhase(0)
+	return rt, nil
+}
+
+// Spec returns the scenario being executed.
+func (rt *Runtime) Spec() *Spec { return rt.spec }
+
+// BeginMeasured resolves the phase boundaries for a run of `measured`
+// measured queries. The experiment loop calls it once, before the first
+// submission.
+func (rt *Runtime) BeginMeasured(measured int) error {
+	marks, err := rt.spec.Marks(measured)
+	if err != nil {
+		return err
+	}
+	rt.starts = make([]int, len(marks))
+	for i := 1; i < len(marks); i++ {
+		rt.starts[i] = marks[i-1].End
+	}
+	return nil
+}
+
+// OnSubmit advances the phase timeline; the experiment loop calls it with
+// the 0-based measured query index just before submitting that query, from
+// inside the submission event, so phase entry happens at a deterministic
+// point of the event order.
+func (rt *Runtime) OnSubmit(measuredIdx int) {
+	for rt.current+1 < len(rt.starts) && measuredIdx >= rt.starts[rt.current+1] {
+		rt.enterPhase(rt.current + 1)
+	}
+}
+
+// enterPhase activates phase k: its churn intensity, then its entry events
+// in spec order.
+func (rt *Runtime) enterPhase(k int) {
+	rt.current = k
+	p := rt.spec.Phases[k]
+	if p.Churn != nil {
+		cfg := rt.w.ChurnDefaults
+		cfg.LeaveProb = p.Churn.LeaveProb
+		cfg.JoinProb = p.Churn.JoinProb
+		if p.Churn.MinOnlineFraction > 0 {
+			cfg.MinOnlineFraction = p.Churn.MinOnlineFraction
+		}
+		rt.activeChurn = &cfg
+	} else {
+		rt.activeChurn = nil
+	}
+	for _, e := range p.Events {
+		rt.apply(e)
+	}
+}
+
+// apply executes one typed dynamics event against the world.
+func (rt *Runtime) apply(e EventSpec) {
+	switch e.Kind {
+	case KindChurnWave:
+		overlay.BurstLeave(rt.w.Graph, e.Frac, rt.w.ChurnDefaults.MinOnlineFraction,
+			rt.w.ChurnDefaults.MaxDegree, rt.eventRng)
+	case KindRejoin:
+		overlay.BurstJoin(rt.w.Graph, e.Frac, rt.w.ChurnDefaults.AvgDegree,
+			rt.w.ChurnDefaults.MaxDegree, rt.eventRng)
+	case KindFlashCrowd:
+		rt.flashCrowd(e)
+	case KindCalm:
+		rt.w.Gen.SetTargets(rt.originalTargets)
+		rt.w.Gen.SetZipfS(rt.originalZipfS)
+		rt.w.Gen.SetRateFactor(1)
+	case KindInjectFiles:
+		rt.injectFiles(e)
+	case KindRemoveFiles:
+		rt.removeFiles(e)
+	case KindMigrateProviders:
+		rt.migrateProviders(e)
+	case KindDegradeRegion:
+		rt.degradeRegion(e)
+	case KindRestoreRegion:
+		rt.w.Model.ClearLatencyFactors()
+	default:
+		// Validate rejects unknown kinds before Attach; reaching here is a
+		// programming error.
+		panic(fmt.Sprintf("scenario: unhandled event kind %q", e.Kind))
+	}
+}
+
+// flashCrowd promotes a random hot set to the head of the popularity
+// ranking and applies the rate/exponent spike — the crowd rushes files
+// that were not necessarily popular before, which is what re-ranks the
+// world instead of merely amplifying it.
+func (rt *Runtime) flashCrowd(e EventSpec) {
+	if e.HotFiles > 0 {
+		targets := rt.w.Gen.Targets()
+		hot := e.HotFiles
+		if hot > len(targets) {
+			hot = len(targets)
+		}
+		// Partial Fisher–Yates: draw the hot set into the head positions.
+		for i := 0; i < hot; i++ {
+			j := i + rt.eventRng.Intn(len(targets)-i)
+			targets[i], targets[j] = targets[j], targets[i]
+		}
+		rt.w.Gen.SetTargets(targets)
+	}
+	if e.ZipfS > 0 {
+		rt.w.Gen.SetZipfS(e.ZipfS)
+	}
+	if e.RateFactor > 0 {
+		rt.w.Gen.SetRateFactor(e.RateFactor)
+	}
+}
+
+// injectFiles adds new catalogue files, seeds each at `Copies` random
+// online providers, and makes them queryable.
+func (rt *Runtime) injectFiles(e EventSpec) {
+	copies := e.Copies
+	if copies <= 0 {
+		copies = 1
+	}
+	ids := rt.w.Catalog.NewFiles(e.Files, rt.eventRng)
+	for _, id := range ids {
+		f := rt.w.Catalog.File(id)
+		excluded := make(map[overlay.PeerID]bool, copies)
+		for c := 0; c < copies; c++ {
+			p := rt.w.Graph.RandomOnlinePeer(rt.eventRng, excluded)
+			if p < 0 {
+				break
+			}
+			excluded[p] = true
+			rt.w.Net.Node(p).AddFile(f)
+		}
+	}
+	if e.Hot {
+		// A new release the crowd wants: head of the ranking.
+		rt.w.Gen.SetTargets(append(ids, rt.w.Gen.Targets()...))
+	} else {
+		rt.w.Gen.AddTargets(ids...)
+	}
+}
+
+// removeFiles withdraws every copy of `Files` randomly chosen queryable
+// files. The files stay in the ranking: queries keep asking for content
+// that no longer exists, and cached indexes keep advertising providers
+// that no longer have it — the staleness signature of content churn.
+func (rt *Runtime) removeFiles(e EventSpec) {
+	for _, id := range rt.pickTargets(e.Files) {
+		f := rt.w.Catalog.File(id)
+		for _, n := range rt.w.Net.Nodes() {
+			n.RemoveFile(f)
+		}
+	}
+}
+
+// migrateProviders rehomes the copies of `Files` randomly chosen files:
+// each existing copy is withdrawn and an equal number of random online
+// peers become providers instead — content drifting across the overlay.
+func (rt *Runtime) migrateProviders(e EventSpec) {
+	for _, id := range rt.pickTargets(e.Files) {
+		f := rt.w.Catalog.File(id)
+		moved := 0
+		excluded := make(map[overlay.PeerID]bool)
+		for _, n := range rt.w.Net.Nodes() {
+			if n.RemoveFile(f) {
+				moved++
+				excluded[n.ID] = true
+			}
+		}
+		for c := 0; c < moved; c++ {
+			p := rt.w.Graph.RandomOnlinePeer(rt.eventRng, excluded)
+			if p < 0 {
+				break
+			}
+			excluded[p] = true
+			rt.w.Net.Node(p).AddFile(f)
+		}
+	}
+}
+
+// pickTargets draws up to n distinct files from the current queryable
+// ranking, uniformly.
+func (rt *Runtime) pickTargets(n int) []workload.FileID {
+	targets := rt.w.Gen.Targets()
+	if n > len(targets) {
+		n = len(targets)
+	}
+	for i := 0; i < n; i++ {
+		j := i + rt.eventRng.Intn(len(targets)-i)
+		targets[i], targets[j] = targets[j], targets[i]
+	}
+	return targets[:n]
+}
+
+// degradeRegion inflates the RTT of every path touching the most populous
+// `Localities` locIds and severs a fraction of their overlay links —
+// regional congestion plus partition pressure.
+func (rt *Runtime) degradeRegion(e EventSpec) {
+	region := rt.topLocalities(e.Localities)
+	inRegion := func(p overlay.PeerID) bool {
+		_, ok := region[rt.w.Locator.LocID(int(p))]
+		return ok
+	}
+	if e.LatencyFactor > 1 {
+		for i := 0; i < rt.w.Graph.N(); i++ {
+			if inRegion(overlay.PeerID(i)) {
+				rt.w.Model.SetLatencyFactor(i, e.LatencyFactor)
+			}
+		}
+	}
+	if e.LinkDropFrac > 0 {
+		// Collect the candidate links first: RemoveLink mutates the
+		// neighbour lists Neighbors aliases.
+		type link struct{ a, b overlay.PeerID }
+		var candidates []link
+		for i := 0; i < rt.w.Graph.N(); i++ {
+			a := overlay.PeerID(i)
+			for _, b := range rt.w.Graph.Neighbors(a) {
+				if b > a && (inRegion(a) || inRegion(b)) {
+					candidates = append(candidates, link{a, b})
+				}
+			}
+		}
+		for _, l := range candidates {
+			if rt.eventRng.Float64() < e.LinkDropFrac {
+				rt.w.Graph.RemoveLink(l.a, l.b)
+			}
+		}
+	}
+}
+
+// topLocalities returns the `n` most populous locIds (ties to the lower
+// id, for determinism).
+func (rt *Runtime) topLocalities(n int) map[netmodel.LocID]struct{} {
+	census := rt.w.Locator.Census()
+	ids := make([]netmodel.LocID, 0, len(census))
+	for id := range census {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if census[ids[i]] != census[ids[j]] {
+			return census[ids[i]] > census[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if n > len(ids) {
+		n = len(ids)
+	}
+	out := make(map[netmodel.LocID]struct{}, n)
+	for _, id := range ids[:n] {
+		out[id] = struct{}{}
+	}
+	return out
+}

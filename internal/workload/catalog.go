@@ -3,6 +3,10 @@
 // pool, an initial placement of 3 files per peer, Zipf-distributed query
 // popularity, and Poisson query arrivals at 0.00083 queries per second per
 // peer, each query expressed with 1–3 keywords of the target filename.
+//
+// The catalogue is mutable mid-run: scenario content dynamics inject new
+// releases and the generator re-ranks popularity, so satisfiability lookups
+// go through an inverted keyword index instead of a linear scan.
 package workload
 
 import (
@@ -21,6 +25,14 @@ type Catalog struct {
 	files []keywords.Filename
 	// byName maps canonical filename strings back to ids.
 	byName map[string]FileID
+	// byKeyword is the inverted index: keyword -> ascending ids of the
+	// files whose names contain it. Ground-truth satisfiability
+	// (MatchingFiles) intersects posting lists instead of scanning the
+	// whole catalogue, which keeps it cheap when scenarios inject files
+	// mid-run and re-check satisfiability per phase.
+	byKeyword map[keywords.Keyword][]FileID
+	// kwPerFile is the filename width used for generated files (paper: 3).
+	kwPerFile int
 }
 
 // CatalogConfig sizes the catalogue.
@@ -43,18 +55,14 @@ func NewCatalog(cfg CatalogConfig, r *rand.Rand) *Catalog {
 	}
 	pool := keywords.NewPool(cfg.KeywordPool)
 	c := &Catalog{
-		pool:   pool,
-		files:  make([]keywords.Filename, 0, cfg.NumFiles),
-		byName: make(map[string]FileID, cfg.NumFiles),
+		pool:      pool,
+		files:     make([]keywords.Filename, 0, cfg.NumFiles),
+		byName:    make(map[string]FileID, cfg.NumFiles),
+		byKeyword: make(map[keywords.Keyword][]FileID, cfg.KeywordPool),
+		kwPerFile: cfg.KeywordsPerFile,
 	}
 	for len(c.files) < cfg.NumFiles {
-		f := pool.RandomFilename(cfg.KeywordsPerFile, r)
-		name := f.String()
-		if _, dup := c.byName[name]; dup {
-			continue
-		}
-		c.byName[name] = FileID(len(c.files))
-		c.files = append(c.files, f)
+		c.Add(pool.RandomFilename(cfg.KeywordsPerFile, r))
 	}
 	return c
 }
@@ -71,13 +79,68 @@ func (c *Catalog) Lookup(name string) (FileID, bool) {
 	return id, ok
 }
 
-// MatchingFiles returns the ids of all files whose names satisfy q. The
-// evaluation uses it to decide ground-truth query satisfiability.
+// Add inserts a new file into the catalogue, indexing its keywords, and
+// returns its id. A duplicate filename returns the existing id with ok
+// false. Content dynamics use it to inject files mid-run.
+func (c *Catalog) Add(f keywords.Filename) (FileID, bool) {
+	name := f.String()
+	if id, dup := c.byName[name]; dup {
+		return id, false
+	}
+	id := FileID(len(c.files))
+	c.byName[name] = id
+	c.files = append(c.files, f)
+	// Files are only ever appended, so posting lists stay ascending and
+	// MatchingFiles returns ids in the same order a full scan would.
+	for i := 0; i < f.K(); i++ {
+		kw := f.KeywordAt(i)
+		c.byKeyword[kw] = append(c.byKeyword[kw], id)
+	}
+	return id, true
+}
+
+// NewFiles draws n fresh unique filenames from the keyword pool with r and
+// adds them to the catalogue, returning their ids in insertion order — the
+// injection primitive behind scenario content dynamics.
+func (c *Catalog) NewFiles(n int, r *rand.Rand) []FileID {
+	k := c.kwPerFile
+	if k <= 0 {
+		k = DefaultCatalog().KeywordsPerFile
+	}
+	ids := make([]FileID, 0, n)
+	for len(ids) < n {
+		if id, ok := c.Add(c.pool.RandomFilename(k, r)); ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// MatchingFiles returns the ids of all files whose names satisfy q, in
+// ascending id order. The evaluation uses it to decide ground-truth query
+// satisfiability. It probes the inverted index with q's rarest keyword and
+// verifies only that posting list, so cost scales with the keyword's
+// selectivity, not the catalogue size.
 func (c *Catalog) MatchingFiles(q keywords.Query) []FileID {
+	if len(q.Kws) == 0 {
+		return nil
+	}
+	// Shortest posting list bounds the candidate set; a keyword absent
+	// from the index means no file can satisfy the query.
+	var candidates []FileID
+	for i, kw := range q.Kws {
+		post, ok := c.byKeyword[kw]
+		if !ok {
+			return nil
+		}
+		if i == 0 || len(post) < len(candidates) {
+			candidates = post
+		}
+	}
 	var out []FileID
-	for id, f := range c.files {
-		if f.Matches(q) {
-			out = append(out, FileID(id))
+	for _, id := range candidates {
+		if c.files[id].Matches(q) {
+			out = append(out, id)
 		}
 	}
 	return out

@@ -33,6 +33,11 @@ func DefaultGen() GenConfig { return GenConfig{RatePerPeer: 0.00083, ZipfS: 1.0}
 // Generator produces a reproducible stream of query events via independent
 // Poisson processes per peer (superposed, equivalent to a single Poisson
 // process of aggregate rate n*RatePerPeer with uniform peer attribution).
+//
+// The popularity ranking, Zipf exponent and arrival rate are mutable
+// mid-stream (SetTargets, AddTargets, SetZipfS, SetRateFactor): scenario
+// dynamics re-rank popularity for flash crowds and spike the query rate
+// without touching the RNG, so the stream stays deterministic.
 type Generator struct {
 	cfg GenConfig
 	cat *Catalog
@@ -45,6 +50,10 @@ type Generator struct {
 	n       int
 	r       *rand.Rand
 	now     sim.Time
+	// rateFactor scales the aggregate arrival rate (flash-crowd spikes);
+	// 1 is the steady state and leaves arrival gaps bit-identical to a
+	// factor-free generator.
+	rateFactor float64
 }
 
 // NewGenerator creates a generator over n peers targeting the whole
@@ -72,18 +81,65 @@ func NewGeneratorOver(n int, cfg GenConfig, cat *Catalog, targets []FileID, r *r
 		targets = cp
 	}
 	return &Generator{
-		cfg:     cfg,
-		cat:     cat,
-		targets: targets,
-		zipf:    NewZipf(len(targets), cfg.ZipfS, r),
-		n:       n,
-		r:       r,
+		cfg:        cfg,
+		cat:        cat,
+		targets:    targets,
+		zipf:       NewZipf(len(targets), cfg.ZipfS, r),
+		n:          n,
+		r:          r,
+		rateFactor: 1,
 	}
 }
 
-// AggregateRate returns the total queries/second across all peers.
+// AggregateRate returns the total queries/second across all peers,
+// including the current rate factor.
 func (g *Generator) AggregateRate() float64 {
-	return g.cfg.RatePerPeer * float64(g.n)
+	return g.cfg.RatePerPeer * float64(g.n) * g.rateFactor
+}
+
+// SetRateFactor scales the aggregate arrival rate by f from the next
+// event on (flash-crowd spikes and lulls). Non-positive factors are
+// ignored; 1 restores the configured steady rate.
+func (g *Generator) SetRateFactor(f float64) {
+	if f > 0 {
+		g.rateFactor = f
+	}
+}
+
+// RateFactor returns the current arrival-rate multiplier.
+func (g *Generator) RateFactor() float64 { return g.rateFactor }
+
+// SetZipfS rebuilds the popularity sampler with exponent s over the
+// current target ranking. Rebuilding consumes no randomness.
+func (g *Generator) SetZipfS(s float64) {
+	g.cfg.ZipfS = s
+	g.zipf = NewZipf(len(g.targets), s, g.r)
+}
+
+// ZipfS returns the current popularity exponent.
+func (g *Generator) ZipfS() float64 { return g.cfg.ZipfS }
+
+// Targets returns a copy of the current target ranking (most popular
+// first).
+func (g *Generator) Targets() []FileID {
+	out := make([]FileID, len(g.targets))
+	copy(out, g.targets)
+	return out
+}
+
+// SetTargets replaces the target ranking — position is popularity rank, so
+// reordering re-ranks popularity (flash crowds promote a hot set to the
+// head) and the Zipf sampler is rebuilt over the new length.
+func (g *Generator) SetTargets(ts []FileID) {
+	g.targets = append(g.targets[:0], ts...)
+	g.zipf = NewZipf(len(g.targets), g.cfg.ZipfS, g.r)
+}
+
+// AddTargets appends newly queryable files at the unpopular tail of the
+// ranking (content injection makes them reachable by queries).
+func (g *Generator) AddTargets(ts ...FileID) {
+	g.targets = append(g.targets, ts...)
+	g.zipf = NewZipf(len(g.targets), g.cfg.ZipfS, g.r)
 }
 
 // Next returns the next query event: an exponential inter-arrival at the

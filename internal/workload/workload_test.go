@@ -305,3 +305,131 @@ func TestGeneratorRateFallback(t *testing.T) {
 		t.Fatal("rate fallback missing")
 	}
 }
+
+// bruteMatch is the reference linear scan the inverted index replaced.
+func bruteMatch(c *Catalog, q keywords.Query) []FileID {
+	var out []FileID
+	for id := 0; id < c.Size(); id++ {
+		if c.File(FileID(id)).Matches(q) {
+			out = append(out, FileID(id))
+		}
+	}
+	return out
+}
+
+func TestMatchingFilesEqualsLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	c := NewCatalog(CatalogConfig{NumFiles: 400, KeywordPool: 300, KeywordsPerFile: 3}, r)
+	for i := 0; i < 500; i++ {
+		f := c.File(FileID(r.Intn(c.Size())))
+		q := keywords.ExtractQuery(f, r)
+		got, want := c.MatchingFiles(q), bruteMatch(c, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %v: index found %d files, scan %d", q, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %v: index order %v != scan order %v", q, got, want)
+			}
+		}
+	}
+	// Queries with unknown keywords match nothing, cheaply.
+	if got := c.MatchingFiles(keywords.NewQuery("zz-not-in-pool")); got != nil {
+		t.Fatalf("unknown keyword matched %v", got)
+	}
+	if got := c.MatchingFiles(keywords.Query{}); got != nil {
+		t.Fatalf("empty query matched %v", got)
+	}
+}
+
+func TestCatalogAddIndexesNewFiles(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	c := NewCatalog(CatalogConfig{NumFiles: 50, KeywordPool: 200, KeywordsPerFile: 3}, r)
+	f := keywords.NewFilename("brand", "new", "release")
+	id, ok := c.Add(f)
+	if !ok || int(id) != c.Size()-1 {
+		t.Fatalf("Add returned (%d, %v), want fresh tail id", id, ok)
+	}
+	if id2, ok2 := c.Add(f); ok2 || id2 != id {
+		t.Fatalf("duplicate Add returned (%d, %v)", id2, ok2)
+	}
+	got := c.MatchingFiles(keywords.NewQuery("brand", "release"))
+	if len(got) != 1 || got[0] != id {
+		t.Fatalf("injected file not found via index: %v", got)
+	}
+	if lid, ok := c.Lookup(f.String()); !ok || lid != id {
+		t.Fatalf("Lookup(%q) = (%d, %v)", f.String(), lid, ok)
+	}
+}
+
+func TestCatalogNewFilesUniqueAndQueryable(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	c := NewCatalog(CatalogConfig{NumFiles: 100, KeywordPool: 150, KeywordsPerFile: 3}, r)
+	before := c.Size()
+	ids := c.NewFiles(25, r)
+	if len(ids) != 25 || c.Size() != before+25 {
+		t.Fatalf("NewFiles grew catalogue %d -> %d with %d ids", before, c.Size(), len(ids))
+	}
+	for _, id := range ids {
+		f := c.File(id)
+		got := c.MatchingFiles(keywords.Query{Kws: f.Keywords()})
+		found := false
+		for _, g := range got {
+			if g == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("injected file %d (%s) not satisfiable", id, f)
+		}
+	}
+}
+
+func TestGeneratorDynamics(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	c := NewCatalog(CatalogConfig{NumFiles: 60, KeywordPool: 120, KeywordsPerFile: 3}, r)
+	g := NewGenerator(40, GenConfig{RatePerPeer: 0.01, ZipfS: 1.0}, c, rand.New(rand.NewSource(11)))
+
+	base := g.AggregateRate()
+	g.SetRateFactor(4)
+	if g.AggregateRate() != 4*base || g.RateFactor() != 4 {
+		t.Fatalf("rate factor: %v at factor %v", g.AggregateRate(), g.RateFactor())
+	}
+	g.SetRateFactor(0) // ignored
+	if g.RateFactor() != 4 {
+		t.Fatal("non-positive rate factor not ignored")
+	}
+	g.SetRateFactor(1)
+	if g.AggregateRate() != base {
+		t.Fatal("rate factor 1 must restore the base rate")
+	}
+
+	// Promoting a hot set re-ranks popularity: with a steep exponent the
+	// head files dominate draws.
+	hot := []FileID{41, 17, 53}
+	rest := g.Targets()
+	g.SetTargets(append(append([]FileID{}, hot...), rest...))
+	g.SetZipfS(1.5)
+	if g.ZipfS() != 1.5 {
+		t.Fatalf("ZipfS() = %v after SetZipfS(1.5) — calm events restore via this getter", g.ZipfS())
+	}
+	counts := map[FileID]int{}
+	for i := 0; i < 3000; i++ {
+		counts[g.Next().Target]++
+	}
+	hotDraws := counts[41] + counts[17] + counts[53]
+	if hotDraws < 1500 {
+		t.Fatalf("hot set drew only %d of 3000 with s=1.5", hotDraws)
+	}
+
+	// Injected targets become drawable.
+	ids := c.NewFiles(1, r)
+	g.AddTargets(ids...)
+	seen := false
+	for i := 0; i < 20000 && !seen; i++ {
+		seen = g.Next().Target == ids[0]
+	}
+	if !seen {
+		t.Fatalf("injected target %d never drawn", ids[0])
+	}
+}

@@ -118,8 +118,18 @@ type Options struct {
 	CacheProviders int
 	// BloomBits sizes the keyword Bloom filter (paper: 1200).
 	BloomBits int
-	// Churn enables peer leave/rejoin dynamics.
+	// Churn enables peer leave/rejoin dynamics for the whole run. It is
+	// the legacy dynamics switch, equivalent to Scenario =
+	// ScenarioByName("steady-churn") (and implemented as exactly that);
+	// Scenario, when set, takes precedence.
 	Churn bool
+	// Scenario, when non-nil, runs the simulation under a phased-dynamics
+	// timeline — churn waves, flash crowds, content injection/removal,
+	// regional degradation — and reports every metric per phase
+	// (Result.Phases). Scenarios apply to every entry point: Run, Compare,
+	// RunTrials and CompareTrials all honour it, and RunScenario bundles
+	// the per-phase view.
+	Scenario *Scenario
 	// RetainRecords keeps every per-query record in memory and exposes them
 	// as Result.Records — the full-fidelity trace mode used by
 	// cmd/locaware-trace. Off (the default), the measurement plane is a
@@ -221,6 +231,9 @@ func (o Options) coreConfig() core.Config {
 	}
 	cfg.ChurnEnabled = o.Churn
 	cfg.Churn = overlay.DefaultChurn()
+	if o.Scenario != nil {
+		cfg.Scenario = o.Scenario.spec
+	}
 	cfg.Protocol.Collector.RetainRecords = o.RetainRecords
 	return cfg
 }
@@ -269,6 +282,10 @@ type Result struct {
 	// populated only when Options.RetainRecords is set (memory grows with
 	// the query count).
 	Records []QueryRecord
+	// Phases holds the per-phase metric windows, in timeline order —
+	// populated only when the run executed under a scenario (explicit
+	// Options.Scenario, or the steady-churn lowering of Options.Churn).
+	Phases []PhaseMetrics
 }
 
 // QueryRecord is the outcome of one measured query (RetainRecords mode).
@@ -305,6 +322,21 @@ func newResult(p Protocol, r *core.RunResult) *Result {
 			}
 		}
 	}
+	var phases []PhaseMetrics
+	for _, w := range r.Collector.PhaseWindows() {
+		phases = append(phases, PhaseMetrics{
+			Phase:               w.Name,
+			Start:               w.Start,
+			End:                 w.End,
+			Queries:             w.Queries,
+			SuccessRate:         w.SuccessRate,
+			AvgMessagesPerQuery: w.MessagesPerQuery,
+			AvgDownloadRTTMs:    w.DownloadRTT,
+			SameLocalityRate:    w.SameLocalityRate,
+			CacheHitRate:        w.CacheHitRate,
+			AvgHops:             w.AvgHops,
+		})
+	}
 	return &Result{
 		Protocol:              p,
 		Queries:               r.Collector.Submitted(),
@@ -325,6 +357,7 @@ func newResult(p Protocol, r *core.RunResult) *Result {
 		SimulatedSeconds:      r.Duration.Seconds(),
 		Events:                r.Events,
 		Records:               records,
+		Phases:                phases,
 	}
 }
 
@@ -366,7 +399,10 @@ func Run(o Options, p Protocol, warmup, queries int) (*Result, error) {
 	if err := validateRun(warmup, queries); err != nil {
 		return nil, err
 	}
-	s := core.NewSimulation(o.coreConfig(), b)
+	if err := validateScenario(o, queries); err != nil {
+		return nil, err
+	}
+	s := core.NewSimulation(o.scenarioConfig(queries), b)
 	return newResult(p, s.RunMeasured(warmup, queries)), nil
 }
 
@@ -405,7 +441,10 @@ func RunTraced(o Options, p Protocol, warmup, queries, maxEvents int) (*Result, 
 	if err := validateRun(warmup, queries); err != nil {
 		return nil, nil, err
 	}
-	s := core.NewSimulation(o.coreConfig(), b)
+	if err := validateScenario(o, queries); err != nil {
+		return nil, nil, err
+	}
+	s := core.NewSimulation(o.scenarioConfig(queries), b)
 	buf := trace.NewBuffer(maxEvents)
 	s.Network.Tracer = buf
 	res := newResult(p, s.RunMeasured(warmup, queries))
@@ -450,6 +489,9 @@ func Compare(o Options, protocols []Protocol, warmup, queries int, checkpoints [
 		return nil, err
 	}
 	if err := validateRun(warmup, queries); err != nil {
+		return nil, err
+	}
+	if err := validateScenario(o, queries); err != nil {
 		return nil, err
 	}
 	cmp := core.RunComparisonWorkers(o.coreConfig(), behaviors, o.Workers, warmup, queries, checkpoints)
@@ -534,6 +576,9 @@ func RunTrials(o Options, p Protocol, warmup, queries int) (*TrialsResult, error
 	if err := validateRun(warmup, queries); err != nil {
 		return nil, err
 	}
+	if err := validateScenario(o, queries); err != nil {
+		return nil, err
+	}
 	cell := core.RunTrials(o.coreConfig(), b, core.TrialOptions{Trials: o.Trials, Workers: o.Workers}, warmup, queries)
 	return newTrialsResult(p, cell), nil
 }
@@ -556,6 +601,9 @@ func CompareTrials(o Options, protocols []Protocol, warmup, queries int, checkpo
 		return nil, err
 	}
 	if err := validateRun(warmup, queries); err != nil {
+		return nil, err
+	}
+	if err := validateScenario(o, queries); err != nil {
 		return nil, err
 	}
 	tc := core.RunTrialComparison(o.coreConfig(), behaviors,

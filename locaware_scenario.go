@@ -1,0 +1,193 @@
+package locaware
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/scenario"
+)
+
+// Scenario is a declarative phased-dynamics timeline: the measured query
+// stream is divided into named phases, each optionally running periodic
+// churn and firing typed dynamics events on entry (churn waves, flash
+// crowds, content injection/removal, provider migration, regional latency
+// degradation and link loss). Scenarios are deterministic — the same seed
+// and scenario reproduce the run byte-for-byte at any worker count — and
+// every metric is additionally reported per phase.
+//
+// Obtain one from the built-in registry (ScenarioByName, ScenarioNames) or
+// from JSON (ParseScenario); new scenarios need no code.
+type Scenario struct {
+	spec *scenario.Spec
+}
+
+// ErrUnknownScenario reports a name missing from the built-in registry.
+var ErrUnknownScenario = errors.New("locaware: unknown scenario")
+
+// ScenarioNames lists the built-in scenario registry, sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName returns a built-in scenario.
+func ScenarioByName(name string) (*Scenario, error) {
+	spec, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %s)", ErrUnknownScenario, name,
+			strings.Join(scenario.Names(), ", "))
+	}
+	return &Scenario{spec: spec}, nil
+}
+
+// ParseScenario decodes and validates a JSON scenario spec; see the README
+// "Scenarios" section for the schema. Unknown fields are rejected.
+func ParseScenario(data []byte) (*Scenario, error) {
+	spec, err := scenario.ParseSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{spec: spec}, nil
+}
+
+// Name returns the scenario's name.
+func (s *Scenario) Name() string { return s.spec.Name }
+
+// Description returns the scenario's one-line summary.
+func (s *Scenario) Description() string { return s.spec.Description }
+
+// PhaseNames returns the phase names in timeline order.
+func (s *Scenario) PhaseNames() []string {
+	out := make([]string, len(s.spec.Phases))
+	for i, p := range s.spec.Phases {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// JSON renders the scenario as indented JSON — the exact format
+// ParseScenario accepts, so built-ins double as templates for custom specs.
+func (s *Scenario) JSON() ([]byte, error) { return s.spec.JSON() }
+
+// String identifies the scenario.
+func (s *Scenario) String() string {
+	return fmt.Sprintf("scenario{%s phases=%d}", s.spec.Name, len(s.spec.Phases))
+}
+
+// validateScenario checks that o's scenario (explicit or the legacy churn
+// lowering) can be resolved onto `queries` measured queries, so entry
+// points fail with an error instead of panicking deep in core.
+func validateScenario(o Options, queries int) error {
+	if o.Scenario == nil {
+		return nil
+	}
+	_, err := o.Scenario.spec.Marks(queries)
+	return err
+}
+
+// PhaseMetrics is the full metric set of one scenario phase, computed by
+// the streaming collector over the measured queries in (Start, End].
+type PhaseMetrics struct {
+	// Phase is the phase's name from the scenario spec.
+	Phase string
+	// Start (exclusive) and End (inclusive) bound the phase's span of
+	// cumulative measured query counts; Queries is the span's size.
+	Start, End, Queries int
+	// The figure metrics over the phase.
+	SuccessRate         float64
+	AvgMessagesPerQuery float64
+	AvgDownloadRTTMs    float64
+	// The secondary metrics over the phase (success-conditioned).
+	SameLocalityRate float64
+	CacheHitRate     float64
+	AvgHops          float64
+}
+
+// ScenarioResult is one protocol's run under a scenario: the whole-run
+// summary plus the scenario identity. Per-phase metrics are in
+// Result.Phases.
+type ScenarioResult struct {
+	*Result
+	// Scenario names the executed scenario.
+	Scenario string
+}
+
+// RunScenario simulates protocol p under scenario sc (nil means
+// o.Scenario): warmup queries run under the first phase's dynamics, then
+// the measured stream walks the phase timeline. The result carries
+// per-phase metric windows sealed by the streaming collector during the
+// run.
+func RunScenario(o Options, p Protocol, sc *Scenario, warmup, queries int) (*ScenarioResult, error) {
+	if sc == nil {
+		sc = o.Scenario
+	}
+	if sc == nil {
+		return nil, errors.New("locaware: RunScenario needs a scenario (argument or Options.Scenario)")
+	}
+	o.Scenario = sc
+	res, err := Run(o, p, warmup, queries)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{Result: res, Scenario: sc.Name()}, nil
+}
+
+// PhaseTable renders the per-phase metrics as an aligned text table.
+func (r *ScenarioResult) PhaseTable() string {
+	return PhaseTable(r.Phases)
+}
+
+// PhaseTable renders per-phase metrics as an aligned text table: one row
+// per phase, one column per metric.
+func PhaseTable(phases []PhaseMetrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %9s %8s %10s %9s %10s %7s\n",
+		"phase", "queries", "success", "msgs/q", "rtt(ms)", "sameLoc", "cacheHit", "hops")
+	for _, p := range phases {
+		fmt.Fprintf(&b, "%-12s %8d %9.3f %8.1f %10.1f %9.3f %10.3f %7.2f\n",
+			p.Phase, p.Queries, p.SuccessRate, p.AvgMessagesPerQuery, p.AvgDownloadRTTMs,
+			p.SameLocalityRate, p.CacheHitRate, p.AvgHops)
+	}
+	return b.String()
+}
+
+// PhaseSeries extracts one named metric across phases for each result of a
+// scenario comparison — a per-phase counterpart of FigureSeries for ad-hoc
+// plotting. Metric is one of: success, msgs, rtt, sameloc, cachehit, hops.
+func PhaseSeries(results []*Result, metric string) (map[Protocol][]float64, error) {
+	pick := func(p PhaseMetrics) (float64, bool) {
+		switch metric {
+		case "success":
+			return p.SuccessRate, true
+		case "msgs":
+			return p.AvgMessagesPerQuery, true
+		case "rtt":
+			return p.AvgDownloadRTTMs, true
+		case "sameloc":
+			return p.SameLocalityRate, true
+		case "cachehit":
+			return p.CacheHitRate, true
+		case "hops":
+			return p.AvgHops, true
+		}
+		return 0, false
+	}
+	out := make(map[Protocol][]float64, len(results))
+	for _, r := range results {
+		vals := make([]float64, 0, len(r.Phases))
+		for _, p := range r.Phases {
+			v, ok := pick(p)
+			if !ok {
+				return nil, fmt.Errorf("locaware: unknown phase metric %q", metric)
+			}
+			vals = append(vals, v)
+		}
+		out[r.Protocol] = vals
+	}
+	return out, nil
+}
+
+// scenarioConfig lowers Options to core configuration with the scenario's
+// phase grid resolved for `queries` measured queries.
+func (o Options) scenarioConfig(queries int) core.Config {
+	return core.ResolveScenario(o.coreConfig(), queries)
+}

@@ -1,0 +1,315 @@
+package locaware
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// scenarioOptions is the shared scenario test world: small and accelerated,
+// like the golden world.
+func scenarioOptions() Options {
+	o := DefaultOptions()
+	o.Seed = 1
+	o.Peers = 200
+	o.QueryRate = 0.01
+	return o
+}
+
+func mustScenario(t *testing.T, name string) *Scenario {
+	t.Helper()
+	sc, err := ScenarioByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestScenarioSeedReproducible locks seed determinism: the same seed and
+// scenario reproduce every whole-run and per-phase metric exactly.
+func TestScenarioSeedReproducible(t *testing.T) {
+	run := func() *ScenarioResult {
+		r, err := RunScenario(scenarioOptions(), ProtocolLocaware, mustScenario(t, "churn-waves"), 100, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if len(a.Phases) != 4 {
+		t.Fatalf("churn-waves produced %d phases, want 4", len(a.Phases))
+	}
+	o := scenarioOptions()
+	o.Seed = 2
+	c, err := RunScenario(o, ProtocolLocaware, mustScenario(t, "churn-waves"), 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Phases, c.Phases) {
+		t.Fatal("different seeds produced identical phase metrics (suspicious)")
+	}
+}
+
+// TestScenarioWorkerInvariance locks the parallelism contract for scenario
+// runs: the worker count changes wall-clock time, never a single byte of
+// output — whole-run figures, per-phase windows, everything.
+func TestScenarioWorkerInvariance(t *testing.T) {
+	run := func(workers int) *Comparison {
+		o := scenarioOptions()
+		o.Workers = workers
+		o.Scenario = mustScenario(t, "flashcrowd")
+		cmp, err := Compare(o, Baselines(), 100, 200, []int{50, 100, 150, 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp
+	}
+	seq, par := run(1), run(8)
+	for _, f := range []Figure{FigureDownloadDistance, FigureSearchTraffic, FigureSuccessRate} {
+		if seq.FigureTable(f) != par.FigureTable(f) {
+			t.Fatalf("%s: figure table differs across worker counts", f)
+		}
+	}
+	for i, sr := range seq.Results {
+		pr := par.Results[i]
+		if !reflect.DeepEqual(sr.Phases, pr.Phases) {
+			t.Fatalf("%s: phase metrics differ across worker counts:\n%+v\n%+v",
+				sr.Protocol, sr.Phases, pr.Phases)
+		}
+		if PhaseTable(sr.Phases) != PhaseTable(pr.Phases) {
+			t.Fatalf("%s: phase table differs across worker counts", sr.Protocol)
+		}
+	}
+}
+
+// TestLegacyChurnBitIdenticalToScenario is the deprecation lock for the
+// ad-hoc churn path: Options.Churn now lowers onto the built-in
+// steady-churn scenario, and enabling either must produce bit-identical
+// results.
+func TestLegacyChurnBitIdenticalToScenario(t *testing.T) {
+	legacy := scenarioOptions()
+	legacy.Churn = true
+	viaFlag, err := Run(legacy, ProtocolLocaware, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := scenarioOptions()
+	explicit.Scenario = mustScenario(t, "steady-churn")
+	viaScenario, err := Run(explicit, ProtocolLocaware, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaFlag, viaScenario) {
+		t.Fatalf("Options.Churn and steady-churn scenario diverged:\n%+v\n%+v", viaFlag, viaScenario)
+	}
+	if len(viaFlag.Phases) != 1 || viaFlag.Phases[0].Phase != "steady" {
+		t.Fatalf("legacy churn run reports phases %+v, want the single steady phase", viaFlag.Phases)
+	}
+}
+
+// TestScenarioPhaseAccounting checks the per-phase windows tile the
+// measured stream exactly: spans are contiguous, cover (0, queries], and
+// their query counts and message totals recompose the whole-run scalars.
+func TestScenarioPhaseAccounting(t *testing.T) {
+	const queries = 200
+	res, err := RunScenario(scenarioOptions(), ProtocolLocaware, mustScenario(t, "regional-outage"), 100, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	total := 0
+	var msgSum, succ float64
+	for _, p := range res.Phases {
+		if p.Start != prev {
+			t.Fatalf("phase %q starts at %d, want %d", p.Phase, p.Start, prev)
+		}
+		if p.Queries != p.End-p.Start {
+			t.Fatalf("phase %q has %d queries over span (%d,%d]", p.Phase, p.Queries, p.Start, p.End)
+		}
+		prev = p.End
+		total += p.Queries
+		msgSum += p.AvgMessagesPerQuery * float64(p.Queries)
+		succ += p.SuccessRate * float64(p.Queries)
+	}
+	if prev != queries || total != queries {
+		t.Fatalf("phases cover %d/%d queries to %d", total, queries, prev)
+	}
+	if got := msgSum / queries; !approxEqual(got, res.AvgMessagesPerQuery) {
+		t.Fatalf("phase-weighted msgs/q %v != whole-run %v", got, res.AvgMessagesPerQuery)
+	}
+	if got := succ / queries; !approxEqual(got, res.SuccessRate) {
+		t.Fatalf("phase-weighted success %v != whole-run %v", got, res.SuccessRate)
+	}
+}
+
+// approxEqual tolerates float re-association when recomposing weighted means.
+func approxEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// TestScenarioFromJSON locks the no-code path: a JSON spec runs like a
+// built-in, deterministically.
+func TestScenarioFromJSON(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+	  "name": "json-test",
+	  "phases": [
+	    {"name": "a", "fraction": 1},
+	    {"name": "b", "fraction": 1,
+	     "churn": {"leave_prob": 0.05, "join_prob": 0.2},
+	     "events": [{"kind": "churn-wave", "frac": 0.2},
+	                {"kind": "flash-crowd", "hot_files": 4, "rate_factor": 2}]},
+	    {"name": "c", "fraction": 2, "events": [{"kind": "calm"}, {"kind": "rejoin", "frac": 1}]}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.PhaseNames(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("phase names = %v", got)
+	}
+	run := func() *ScenarioResult {
+		r, err := RunScenario(scenarioOptions(), ProtocolDicas, sc, 100, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("JSON scenario not reproducible")
+	}
+	if len(a.Phases) != 3 || a.Phases[2].End != 200 || a.Phases[2].Start != 100 {
+		t.Fatalf("phases = %+v", a.Phases)
+	}
+
+	if _, err := ParseScenario([]byte(`{"name":"x","phases":[{"name":"p","fraction":1,"typo":1}]}`)); err == nil {
+		t.Fatal("unknown JSON field accepted")
+	}
+}
+
+// TestScenarioErrors locks the error surface: unknown names, missing
+// scenarios and unresolvable timelines fail with errors, not panics.
+func TestScenarioErrors(t *testing.T) {
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Fatal("unknown scenario name accepted")
+	}
+	if _, err := RunScenario(scenarioOptions(), ProtocolLocaware, nil, 10, 50); err == nil {
+		t.Fatal("RunScenario without a scenario accepted")
+	}
+	// 4 phases cannot tile 3 measured queries.
+	if _, err := RunScenario(scenarioOptions(), ProtocolLocaware, mustScenario(t, "flashcrowd"), 0, 3); err == nil {
+		t.Fatal("unresolvable timeline accepted")
+	}
+	o := scenarioOptions()
+	o.Scenario = mustScenario(t, "flashcrowd")
+	if _, err := Compare(o, Baselines(), 0, 3, nil); err == nil {
+		t.Fatal("Compare with unresolvable timeline accepted")
+	}
+	// Options.Scenario feeds RunScenario when no argument is given.
+	if res, err := RunScenario(o, ProtocolLocaware, nil, 10, 50); err != nil || res.Scenario != "flashcrowd" {
+		t.Fatalf("Options.Scenario fallback: %v, %v", res, err)
+	}
+}
+
+// TestScenarioRegistry locks the public registry surface.
+func TestScenarioRegistry(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 6 {
+		t.Fatalf("%d built-in scenarios, want >= 6", len(names))
+	}
+	for _, name := range names {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Description() == "" || len(sc.PhaseNames()) == 0 {
+			t.Fatalf("scenario %q is underdocumented", name)
+		}
+		data, err := sc.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseScenario(data); err != nil {
+			t.Fatalf("scenario %q does not round-trip through JSON: %v", name, err)
+		}
+	}
+}
+
+// TestGoldenScenarioTable locks the fixed-seed flashcrowd scenario output
+// at 200 peers — the scenario counterpart of TestGoldenCompareTable. The
+// table covers both the paired figure view and every protocol's per-phase
+// windows, so any drift in the dynamics timeline, the event RNG, or the
+// per-phase collector shows up as a byte diff. Regenerate with
+// `go test -run TestGoldenScenarioTable -update .` and justify the diff.
+func TestGoldenScenarioTable(t *testing.T) {
+	o := goldenOptions()
+	o.Scenario = mustScenario(t, "flashcrowd")
+	cmp, err := Compare(o, Baselines(), 100, 200, []int{50, 100, 150, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("== fig4-success-rate under scenario flashcrowd\n")
+	b.WriteString(cmp.FigureTable(FigureSuccessRate))
+	for _, r := range cmp.Results {
+		b.WriteString("== phases: " + string(r.Protocol) + "\n")
+		b.WriteString(PhaseTable(r.Phases))
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "golden_scenario_flashcrowd_200peers.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("scenario output drifted from golden file %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestScenarioTrialsContract locks replication under scenarios: trial 0 of
+// a replicated scenario run is bit-identical to the sequential Run, and
+// every trial reports the full phase timeline.
+func TestScenarioTrialsContract(t *testing.T) {
+	o := scenarioOptions()
+	o.Scenario = mustScenario(t, "weekend-surge")
+	o.Trials = 2
+	o.Workers = 2
+	tr, err := RunTrials(o, ProtocolLocaware, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := o
+	single.Trials, single.Workers = 0, 0
+	seq, err := Run(single, ProtocolLocaware, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Trials[0], seq) {
+		t.Fatalf("trial 0 under scenario != sequential run:\n%+v\n%+v", tr.Trials[0], seq)
+	}
+	for i, r := range tr.Trials {
+		if len(r.Phases) != 3 {
+			t.Fatalf("trial %d has %d phases, want 3", i, len(r.Phases))
+		}
+	}
+	if reflect.DeepEqual(tr.Trials[0].Phases, tr.Trials[1].Phases) {
+		t.Fatal("independent trials produced identical phase metrics (suspicious)")
+	}
+}
