@@ -28,15 +28,31 @@
 //
 // Scenarios (phased network dynamics with per-phase metrics):
 //
-//	locaware-exp -scenario list        # built-in registry
-//	locaware-exp -scenario flashcrowd  # run a built-in scenario
-//	locaware-exp -scenario my.json     # run a custom JSON spec
+//	locaware-exp -scenario list                  # built-in registry
+//	locaware-exp -scenario flashcrowd            # run a built-in scenario
+//	locaware-exp -scenario flashcrowd -trials 8  # per-phase mean±95%CI tables
+//	locaware-exp -scenario my.json               # run a custom JSON spec
+//
+// Sweep campaigns (declarative parameter grids with streamed cross-trial
+// aggregation and figure export):
+//
+//	locaware-exp -sweep list          # built-in campaign registry
+//	locaware-exp -sweep size-sweep    # run a built-in campaign
+//	locaware-exp -sweep my.json       # run a custom JSON campaign
+//	locaware-exp -sweep ttl-sweep -out results/   # also write CSV files
+//
+// A campaign prints its figure tables (mean±95%CI per cell) and its tidy
+// CSV; -out additionally writes cells.csv, phases.csv (under scenarios)
+// and one fig_<metric>.csv per headline metric into a directory. The
+// -trials/-seed/-warmup/-queries flags override the campaign spec only
+// when set explicitly on the command line.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -50,6 +66,8 @@ func main() {
 		ablation   = flag.String("ablation", "", "ablation: landmarks|cachesize|bloom|groups")
 		ext        = flag.String("extension", "", "extension: lr|churn")
 		scen       = flag.String("scenario", "", "phased-dynamics scenario: a built-in name, a JSON spec path, or 'list'")
+		sweepArg   = flag.String("sweep", "", "sweep campaign: a built-in name, a JSON spec path, or 'list'")
+		out        = flag.String("out", "", "directory to write sweep CSV exports into")
 		peers      = flag.Int("peers", 1000, "number of peers")
 		warmup     = flag.Int("warmup", 1000, "warmup queries")
 		queries    = flag.Int("queries", 2000, "measured queries")
@@ -93,25 +111,21 @@ func main() {
 		runExtension(opts, *ext, *warmup, *queries)
 	case *scen != "":
 		runScenario(opts, *scen, *warmup, *queries)
+	case *sweepArg != "":
+		runSweep(opts, *sweepArg, *out, setFlags(), *warmup, *queries)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-// resolveScenario turns the -scenario argument into a scenario: a built-in
-// name first, else a JSON spec file.
-func resolveScenario(arg string) (*locaware.Scenario, error) {
-	if sc, err := locaware.ScenarioByName(arg); err == nil {
-		return sc, nil
-	} else if !strings.ContainsAny(arg, "./\\") {
-		return nil, err
-	}
-	data, err := os.ReadFile(arg)
-	if err != nil {
-		return nil, fmt.Errorf("reading scenario spec: %w", err)
-	}
-	return locaware.ParseScenario(data)
+// setFlags reports which flags were given explicitly on the command line —
+// sweep specs carry their own trials/seed/warmup/queries, so flag defaults
+// must not silently override them.
+func setFlags() map[string]bool {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
 }
 
 func runScenario(opts locaware.Options, arg string, warmup, queries int) {
@@ -127,17 +141,28 @@ func runScenario(opts locaware.Options, arg string, warmup, queries int) {
 		}
 		return
 	}
-	sc, err := resolveScenario(arg)
+	sc, err := locaware.LoadScenario(arg)
 	if err != nil {
 		fatal(err)
 	}
 	opts.Scenario = sc
-	if opts.Trials > 1 {
-		fmt.Println("(scenario runs are single-trial; ignoring -trials)")
-		opts.Trials = 1
-	}
 	fmt.Printf("== Scenario %q: %s\n", sc.Name(), sc.Description())
 	fmt.Printf("phases: %s over %d measured queries\n\n", strings.Join(sc.PhaseNames(), " → "), queries)
+	if opts.Trials > 1 {
+		// Replicated: per-phase cells become mean±95%CI over the trials.
+		cmp, err := locaware.CompareTrials(opts, locaware.Baselines(), warmup, queries, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(per-phase cells are mean±95%%CI over %d trials)\n\n", opts.Trials)
+		for _, r := range cmp.Sets {
+			fmt.Printf("-- %s (whole run: success=%s msgs/q=%s rtt=%sms)\n",
+				r.Protocol, r.SuccessRate, r.AvgMessagesPerQuery, r.AvgDownloadRTTMs)
+			fmt.Print(r.PhaseTable())
+			fmt.Println()
+		}
+		return
+	}
 	cmp, err := locaware.Compare(opts, locaware.Baselines(), warmup, queries, nil)
 	if err != nil {
 		fatal(err)
@@ -147,6 +172,113 @@ func runScenario(opts locaware.Options, arg string, warmup, queries int) {
 			r.Protocol, r.SuccessRate, r.AvgMessagesPerQuery, r.AvgDownloadRTTMs)
 		fmt.Print(locaware.PhaseTable(r.Phases))
 		fmt.Println()
+	}
+}
+
+func runSweep(opts locaware.Options, arg, outDir string, set map[string]bool, warmup, queries int) {
+	if arg == "list" {
+		fmt.Println("== Built-in sweep campaigns")
+		for _, name := range locaware.SweepNames() {
+			sw, err := locaware.SweepByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-18s %-9s %s\n", sw.Name(),
+				fmt.Sprintf("%d cells", sw.NumCells()), sw.Description())
+		}
+		return
+	}
+	sw, err := locaware.LoadSweep(arg)
+	if err != nil {
+		fatal(err)
+	}
+	// Explicit flags override the campaign spec; defaults never do. An
+	// explicit -peers must go through the spec's base overrides — specs
+	// like cache-sweep pin their own overlay size there, which would
+	// silently win over the flag-derived base configuration otherwise.
+	if set["peers"] {
+		sw, err = sw.WithBase("peers", float64(opts.Peers))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if set["trials"] {
+		sw = sw.WithTrials(opts.Trials)
+	}
+	if set["seed"] {
+		sw = sw.WithSeed(opts.Seed)
+	}
+	if set["warmup"] || set["queries"] {
+		w, q := sw.Warmup(), sw.Queries()
+		if set["warmup"] {
+			w = warmup
+		}
+		if set["queries"] {
+			q = queries
+		}
+		sw = sw.WithBudget(w, q)
+	}
+	res, err := locaware.RunSweep(opts, sw)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== Sweep campaign %q: %s\n", sw.Name(), sw.Description())
+	fmt.Printf("axes: %s | %d cells × %d protocols × %d trials = %d runs (seed %d)\n\n",
+		strings.Join(sw.Axes(), ", "), res.NumCells(), len(sw.Protocols()), res.Trials(), res.Runs(), res.Seed())
+	figures := []struct{ metric, title string }{
+		{"success", "success rate"},
+		{"msgs", "search traffic (messages/query)"},
+		{"rtt", "download distance (ms)"},
+	}
+	for _, f := range figures {
+		table, err := res.FigureTable(f.metric, "")
+		if err != nil {
+			fatal(err)
+		}
+		if res.Trials() > 1 {
+			fmt.Printf("-- %s (mean±95%%CI over %d trials)\n%s\n", f.title, res.Trials(), table)
+		} else {
+			fmt.Printf("-- %s\n%s\n", f.title, table)
+		}
+	}
+	fmt.Println("== Tidy CSV (cell × protocol)")
+	fmt.Print(res.CSV())
+	if phases := res.PhaseCSV(); phases != "" {
+		fmt.Println("\n== Per-phase CSV (cell × protocol × phase)")
+		fmt.Print(phases)
+	}
+	fmt.Printf("\ncompleted %d cells (%d runs) in %.1fs — %.2f cells/sec\n",
+		res.NumCells(), res.Runs(), res.Elapsed().Seconds(), res.CellsPerSecond())
+	if outDir != "" {
+		writeSweepExports(res, outDir)
+	}
+}
+
+// writeSweepExports writes the campaign's CSV artefacts into a directory:
+// cells.csv, phases.csv (scenario campaigns only) and one figure-shaped
+// fig_<metric>.csv per headline metric.
+func writeSweepExports(res *locaware.SweepResult, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name, content string) {
+		if content == "" {
+			return
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	write("cells.csv", res.CSV())
+	write("phases.csv", res.PhaseCSV())
+	for _, metric := range []string{"success", "msgs", "rtt"} {
+		csv, err := res.FigureCSV(metric, "")
+		if err != nil {
+			fatal(err)
+		}
+		write("fig_"+metric+".csv", csv)
 	}
 }
 

@@ -4,12 +4,20 @@
 //
 //	locaware-trace -protocol Locaware -peers 100 -queries 10
 //	locaware-trace -protocol Locaware -query 3        # one query's lifecycle
+//
+// With -scenario, the run executes under a phased-dynamics timeline and
+// phase-entry events appear inline with the query trace, so the log shows
+// exactly which queries ran before and after each wave, crowd or outage:
+//
+//	locaware-trace -scenario churn-waves -queries 40
+//	locaware-trace -scenario my.json -queries 40
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	locaware "github.com/p2prepro/locaware"
 )
@@ -24,6 +32,7 @@ func main() {
 		maxEvents = flag.Int("max-events", 20000, "trace buffer capacity")
 		gossip    = flag.Bool("gossip", false, "include Bloom gossip events")
 		records   = flag.Bool("records", false, "print the per-query record table (full-fidelity RetainRecords mode)")
+		scen      = flag.String("scenario", "", "run under a phased-dynamics scenario (built-in name or JSON spec path); phase entries print inline")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -35,6 +44,15 @@ func main() {
 	// Tracing is the full-fidelity path: keep per-query records so the
 	// event stream can be cross-checked against each query's final outcome.
 	opts.RetainRecords = *records
+	if *scen != "" {
+		sc, err := locaware.LoadScenario(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locaware-trace:", err)
+			os.Exit(1)
+		}
+		opts.Scenario = sc
+		fmt.Printf("scenario %q: phases %s\n", sc.Name(), strings.Join(sc.PhaseNames(), " → "))
+	}
 
 	res, events, err := locaware.RunTraced(opts, locaware.Protocol(*protoName), *warmup, *queries, *maxEvents)
 	if err != nil {
@@ -44,7 +62,9 @@ func main() {
 
 	printed := 0
 	for _, e := range events {
-		if *query != 0 && e.Query != *query {
+		// Phase entries annotate the timeline: always shown, even when the
+		// trace is filtered down to a single query.
+		if *query != 0 && e.Query != *query && e.Kind != "phase" {
 			continue
 		}
 		if !*gossip && e.Kind == "gossip" {

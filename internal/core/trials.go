@@ -54,6 +54,31 @@ type TrialCell struct {
 	Runs []*RunResult
 	// Summary aggregates the headline metrics across trials.
 	Summary TrialSummary
+	// PhaseStats aggregates the scenario phase windows across trials,
+	// phase-aligned — per-phase mean ± CI error bars. Nil unless the cell
+	// ran under a scenario.
+	PhaseStats []metrics.PhaseStats
+}
+
+// SummarizeTrials aggregates the headline run metrics of replicated runs
+// into cross-trial sample statistics, folding values in run (trial) order
+// so equal run sequences always produce bit-identical float sums.
+func SummarizeTrials(runs []*RunResult) TrialSummary { return summarize(runs) }
+
+// AggregateRunPhases collects every run's sealed scenario-phase windows and
+// aggregates them phase-aligned across trials. It returns nil when the runs
+// carry no phase windows (no scenario configured).
+func AggregateRunPhases(runs []*RunResult) []metrics.PhaseStats {
+	var perTrial [][]metrics.PhaseWindow
+	for _, r := range runs {
+		if ws := r.Collector.PhaseWindows(); len(ws) > 0 {
+			perTrial = append(perTrial, ws)
+		}
+	}
+	if len(perTrial) == 0 {
+		return nil
+	}
+	return metrics.AggregatePhases(perTrial)
 }
 
 func summarize(runs []*RunResult) TrialSummary {
@@ -108,10 +133,11 @@ func RunTrials(cfg Config, b protocol.Behavior, topt TrialOptions, warmup, measu
 		return NewSimulation(c, b).RunMeasured(warmup, measured)
 	})
 	return &TrialCell{
-		Protocol: b.Name(),
-		Seeds:    seeds,
-		Runs:     runs,
-		Summary:  summarize(runs),
+		Protocol:   b.Name(),
+		Seeds:      seeds,
+		Runs:       runs,
+		Summary:    summarize(runs),
+		PhaseStats: AggregateRunPhases(runs),
 	}
 }
 
@@ -162,6 +188,7 @@ func RunTrialComparison(cfg Config, behaviors []protocol.Behavior, topt TrialOpt
 			Runs:     runs[i*trials : (i+1)*trials],
 		}
 		cell.Summary = summarize(cell.Runs)
+		cell.PhaseStats = AggregateRunPhases(cell.Runs)
 		cmp.Cells[b.Name()] = cell
 		cmp.Order = append(cmp.Order, b.Name())
 	}

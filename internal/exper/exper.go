@@ -65,3 +65,75 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	wg.Wait()
 	return out
 }
+
+// Stream runs fn(i) for every i in [0, n) across at most workers goroutines
+// and delivers each result to consume(i, v) on the calling goroutine in
+// strict index order — the same order a sequential loop would produce, for
+// any worker count. Unlike Map it never materialises the full result slice:
+// a consumed result can be folded into an aggregate and dropped, so a
+// campaign of thousands of jobs holds O(workers) results in memory instead
+// of O(n). Dispatch is windowed to 2×workers outstanding jobs, which bounds
+// the reorder buffer even when job 0 is the slowest of the batch.
+// workers <= 0 selects runtime.NumCPU(). With one worker the jobs run
+// inline in index order.
+func Stream[T any](n, workers int, fn func(i int) T, consume func(i int, v T)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			consume(i, fn(i))
+		}
+		return
+	}
+	type item struct {
+		i int
+		v T
+	}
+	var (
+		jobs    = make(chan int)
+		results = make(chan item, w)
+		// window caps dispatched-but-unconsumed jobs. The consumer releases
+		// a slot only after delivering a result, and jobs are dispatched in
+		// index order, so the lowest undelivered index is always in flight:
+		// the pipeline can never deadlock, and at most 2w results exist at
+		// once (in flight + parked in the reorder buffer).
+		window = make(chan struct{}, 2*w)
+		wg     sync.WaitGroup
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results <- item{i, fn(i)}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < n; i++ {
+			window <- struct{}{}
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	// Reorder buffer: park early finishers until their index is next.
+	pending := make(map[int]T, 2*w)
+	next := 0
+	for it := range results {
+		pending[it.i] = it.v
+		for {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			consume(next, v)
+			next++
+			<-window
+		}
+	}
+}

@@ -82,3 +82,78 @@ func TestMapMoreWorkersThanJobs(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 }
+
+func TestStreamDeliversInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		var seen []int
+		Stream(200, workers, func(i int) int { return i * 3 }, func(i, v int) {
+			if v != i*3 {
+				t.Fatalf("workers=%d: consume(%d, %d)", workers, i, v)
+			}
+			seen = append(seen, i)
+		})
+		if len(seen) != 200 {
+			t.Fatalf("workers=%d: consumed %d of 200", workers, len(seen))
+		}
+		for i, idx := range seen {
+			if idx != i {
+				t.Fatalf("workers=%d: delivery %d carried index %d, want strict index order", workers, i, idx)
+			}
+		}
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	called := false
+	Stream(0, 4, func(i int) int { return i }, func(int, int) { called = true })
+	Stream(-1, 4, func(i int) int { return i }, func(int, int) { called = true })
+	if called {
+		t.Fatal("consume called for empty job set")
+	}
+}
+
+func TestStreamRunsEveryJobExactlyOnce(t *testing.T) {
+	var calls [512]int32
+	delivered := 0
+	Stream(len(calls), 8, func(i int) struct{} {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}
+	}, func(int, struct{}) { delivered++ })
+	if delivered != len(calls) {
+		t.Fatalf("delivered %d of %d", delivered, len(calls))
+	}
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestStreamSlowHead makes job 0 the slowest of the batch; the dispatch
+// window must bound the reorder buffer without deadlocking, and delivery
+// must still start at index 0.
+func TestStreamSlowHead(t *testing.T) {
+	var done int32
+	next := 0
+	Stream(100, 8, func(i int) int {
+		if i == 0 {
+			// Busy-wait until later jobs have finished, forcing reordering
+			// pressure. The threshold must stay below the dispatch window
+			// (2×8 outstanding jobs): while job 0 blocks delivery, only the
+			// other 15 windowed jobs can complete.
+			for atomic.LoadInt32(&done) < 10 {
+				runtime.Gosched()
+			}
+		}
+		atomic.AddInt32(&done, 1)
+		return i
+	}, func(i, v int) {
+		if i != next || v != i {
+			t.Fatalf("delivery %d carried (%d, %d)", next, i, v)
+		}
+		next++
+	})
+	if next != 100 {
+		t.Fatalf("consumed %d of 100", next)
+	}
+}

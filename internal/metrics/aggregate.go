@@ -56,3 +56,69 @@ func AggregateWindows(trials [][]Window) []WindowStats {
 	}
 	return out
 }
+
+// PhaseStats aggregates one scenario phase across replicated trials: every
+// PhaseWindow metric becomes a cross-trial sample summary, so per-phase
+// figure cells carry mean ± 95% CI error bars like the whole-run metrics.
+type PhaseStats struct {
+	// Name, Start and End identify the phase; trials share one phase grid
+	// (same spec, same measured count), so the bounds are common.
+	Name       string
+	Start, End int
+	// Queries summarises how many queries each trial recorded in the span.
+	Queries stats.Summary
+	// The full PhaseWindow metric set, summarised across trials.
+	DownloadRTT      stats.Summary
+	MessagesPerQuery stats.Summary
+	SuccessRate      stats.Summary
+	SameLocalityRate stats.Summary
+	CacheHitRate     stats.Summary
+	AvgHops          stats.Summary
+}
+
+// AggregatePhases merges per-trial phase-window slices into cross-trial
+// summaries, aligned by phase position: phase k of every trial contributes
+// to PhaseStats k. Trials run the same scenario over the same measured
+// count, so their phase grids coincide; a trial with fewer sealed phases
+// (truncated run) simply contributes no sample to the tail phases, so
+// ragged inputs degrade to smaller samples instead of failing.
+func AggregatePhases(trials [][]PhaseWindow) []PhaseStats {
+	n := 0
+	for _, ws := range trials {
+		if len(ws) > n {
+			n = len(ws)
+		}
+	}
+	out := make([]PhaseStats, 0, n)
+	for k := 0; k < n; k++ {
+		var (
+			ps                              PhaseStats
+			q, rtt, mpq, sr, loc, hit, hops []float64
+		)
+		for _, ws := range trials {
+			if k >= len(ws) {
+				continue
+			}
+			w := ws[k]
+			if ps.Name == "" {
+				ps.Name, ps.Start, ps.End = w.Name, w.Start, w.End
+			}
+			q = append(q, float64(w.Queries))
+			rtt = append(rtt, w.DownloadRTT)
+			mpq = append(mpq, w.MessagesPerQuery)
+			sr = append(sr, w.SuccessRate)
+			loc = append(loc, w.SameLocalityRate)
+			hit = append(hit, w.CacheHitRate)
+			hops = append(hops, w.AvgHops)
+		}
+		ps.Queries = stats.Summarize(q)
+		ps.DownloadRTT = stats.Summarize(rtt)
+		ps.MessagesPerQuery = stats.Summarize(mpq)
+		ps.SuccessRate = stats.Summarize(sr)
+		ps.SameLocalityRate = stats.Summarize(loc)
+		ps.CacheHitRate = stats.Summarize(hit)
+		ps.AvgHops = stats.Summarize(hops)
+		out = append(out, ps)
+	}
+	return out
+}

@@ -362,3 +362,56 @@ func TestPhaseMarkValidation(t *testing.T) {
 	}()
 	NewCollectorWith(CollectorConfig{Phases: []PhaseMark{{Name: "a", End: 5}, {Name: "b", End: 5}}})
 }
+
+func TestAggregatePhases(t *testing.T) {
+	trials := [][]PhaseWindow{
+		{
+			{Name: "calm", Start: 0, End: 4, Queries: 4, SuccessRate: 0.5, MessagesPerQuery: 6, DownloadRTT: 100, SameLocalityRate: 0.5, CacheHitRate: 0.25, AvgHops: 2},
+			{Name: "wave", Start: 4, End: 8, Queries: 4, SuccessRate: 0.25, MessagesPerQuery: 8, DownloadRTT: 140, SameLocalityRate: 0, CacheHitRate: 0.5, AvgHops: 3},
+		},
+		{
+			{Name: "calm", Start: 0, End: 4, Queries: 4, SuccessRate: 0.7, MessagesPerQuery: 4, DownloadRTT: 80, SameLocalityRate: 0.3, CacheHitRate: 0.75, AvgHops: 4},
+			{Name: "wave", Start: 4, End: 8, Queries: 4, SuccessRate: 0.35, MessagesPerQuery: 6, DownloadRTT: 120, SameLocalityRate: 0.2, CacheHitRate: 0.7, AvgHops: 5},
+		},
+	}
+	ps := AggregatePhases(trials)
+	if len(ps) != 2 {
+		t.Fatalf("got %d phase stats, want 2", len(ps))
+	}
+	calm := ps[0]
+	if calm.Name != "calm" || calm.Start != 0 || calm.End != 4 {
+		t.Fatalf("phase 0 identity = %+v", calm)
+	}
+	if calm.SuccessRate.N != 2 || calm.SuccessRate.Mean != 0.6 {
+		t.Fatalf("calm success = %+v", calm.SuccessRate)
+	}
+	if calm.MessagesPerQuery.Mean != 5 || calm.DownloadRTT.Mean != 90 {
+		t.Fatalf("calm msgs/rtt = %+v / %+v", calm.MessagesPerQuery, calm.DownloadRTT)
+	}
+	if ps[1].Name != "wave" || ps[1].SuccessRate.Mean != 0.3 {
+		t.Fatalf("wave = %+v", ps[1])
+	}
+}
+
+func TestAggregatePhasesRagged(t *testing.T) {
+	trials := [][]PhaseWindow{
+		{{Name: "a", End: 5, Queries: 5, SuccessRate: 0.4}},
+		{{Name: "a", End: 5, Queries: 5, SuccessRate: 0.6}, {Name: "b", Start: 5, End: 10, Queries: 5, SuccessRate: 1}},
+	}
+	ps := AggregatePhases(trials)
+	if len(ps) != 2 {
+		t.Fatalf("got %d phase stats, want 2", len(ps))
+	}
+	if ps[0].SuccessRate.N != 2 || ps[0].SuccessRate.Mean != 0.5 {
+		t.Fatalf("phase a = %+v", ps[0].SuccessRate)
+	}
+	if ps[1].SuccessRate.N != 1 || ps[1].SuccessRate.Mean != 1 {
+		t.Fatalf("truncated trial must shrink the sample, got %+v", ps[1].SuccessRate)
+	}
+}
+
+func TestAggregatePhasesEmpty(t *testing.T) {
+	if got := AggregatePhases(nil); len(got) != 0 {
+		t.Fatalf("AggregatePhases(nil) = %v", got)
+	}
+}

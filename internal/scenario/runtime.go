@@ -9,6 +9,7 @@ import (
 	"github.com/p2prepro/locaware/internal/overlay"
 	"github.com/p2prepro/locaware/internal/protocol"
 	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/trace"
 	"github.com/p2prepro/locaware/internal/workload"
 )
 
@@ -108,6 +109,9 @@ func (rt *Runtime) BeginMeasured(measured int) error {
 	for i := 1; i < len(marks); i++ {
 		rt.starts[i] = marks[i-1].End
 	}
+	// Phase 0 entered at Attach, before any tracer could be installed;
+	// announce it now so a traced run shows the full timeline.
+	rt.tracePhase(rt.current)
 	return nil
 }
 
@@ -121,10 +125,36 @@ func (rt *Runtime) OnSubmit(measuredIdx int) {
 	}
 }
 
+// tracePhase emits a phase-entry event when the simulation is being traced.
+// The tracer is read at event time, not attach time: tracing harnesses
+// install it on the network after the simulation is built.
+func (rt *Runtime) tracePhase(k int) {
+	if rt.w.Net == nil || rt.w.Net.Tracer == nil {
+		return
+	}
+	p := rt.spec.Phases[k]
+	detail := fmt.Sprintf("scenario=%s phase=%s (%d/%d)", rt.spec.Name, p.Name, k+1, len(rt.spec.Phases))
+	if len(p.Events) > 0 {
+		kinds := make([]string, len(p.Events))
+		for i, e := range p.Events {
+			kinds[i] = e.Kind
+		}
+		detail += " events=" + fmt.Sprint(kinds)
+	}
+	rt.w.Net.Tracer.Emit(trace.Event{
+		At:     rt.w.Engine.Now(),
+		Kind:   trace.PhaseEnter,
+		Peer:   -1,
+		From:   -1,
+		Detail: detail,
+	})
+}
+
 // enterPhase activates phase k: its churn intensity, then its entry events
 // in spec order.
 func (rt *Runtime) enterPhase(k int) {
 	rt.current = k
+	rt.tracePhase(k)
 	p := rt.spec.Phases[k]
 	if p.Churn != nil {
 		cfg := rt.w.ChurnDefaults

@@ -73,7 +73,9 @@ func Table(xHeader string, series []*Series) string {
 	}
 	b.WriteByte('\n')
 	for _, x := range grid {
-		fmt.Fprintf(&b, "%-12.0f", x)
+		// %g keeps fractional x grids (intensity sweeps) readable and
+		// renders integer grids exactly as %.0f did.
+		fmt.Fprintf(&b, "%-12s", fmt.Sprintf("%g", x))
 		for _, s := range series {
 			y, e, ok := lookupPoint(s, x)
 			switch {

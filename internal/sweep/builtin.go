@@ -1,0 +1,98 @@
+package sweep
+
+import "sort"
+
+// builtins constructs the registry afresh (specs are mutable data; every
+// caller gets its own copy). The campaigns regenerate the paper's figure
+// grids: every figure in the evaluation plots a metric against a swept
+// parameter for the four protocols, and these four axes — overlay size,
+// response-index capacity, TTL and dynamics intensity — are the ones its
+// discussion varies.
+func builtins() []*Spec {
+	return []*Spec{
+		{
+			Name:        "size-sweep",
+			Description: "success/traffic/distance vs overlay size, 250→2000 peers, all baselines",
+			Warmup:      300,
+			Queries:     1000,
+			Trials:      3,
+			Axes: []Axis{
+				{Param: ParamPeers, Values: []float64{250, 500, 1000, 2000}},
+			},
+		},
+		{
+			Name:        "cache-sweep",
+			Description: "response-index capacity sweep (paper: 50 filenames) over the caching protocols",
+			Protocols:   []string{"Dicas", "Dicas-Keys", "Locaware"},
+			Warmup:      300,
+			Queries:     1000,
+			Trials:      3,
+			Base:        map[string]float64{ParamPeers: 500},
+			Axes: []Axis{
+				{Param: ParamCacheFilenames, Values: []float64{10, 25, 50, 100, 200}},
+			},
+		},
+		{
+			Name:        "ttl-sweep",
+			Description: "query TTL sweep (paper: 7) — traffic/success trade-off, all baselines",
+			Warmup:      300,
+			Queries:     1000,
+			Trials:      3,
+			Base:        map[string]float64{ParamPeers: 500},
+			Axes: []Axis{
+				{Param: ParamTTL, Values: []float64{3, 5, 7, 9}},
+			},
+		},
+		{
+			Name:        "churn-sweep",
+			Description: "steady-churn intensity sweep: 0 (static) → 2x the default leave/rejoin pressure",
+			Protocols:   []string{"Dicas", "Locaware"},
+			Warmup:      300,
+			Queries:     1000,
+			Trials:      3,
+			Scenario:    "steady-churn",
+			Base:        map[string]float64{ParamPeers: 500},
+			Axes: []Axis{
+				{Param: ParamIntensity, Values: []float64{0, 0.5, 1, 2}},
+			},
+		},
+		{
+			Name:        "flashcrowd-sweep",
+			Description: "flash-crowd intensity sweep: how hard can the crowd rush before caching stops helping",
+			Protocols:   []string{"Flooding", "Locaware"},
+			Warmup:      300,
+			Queries:     1200,
+			Trials:      3,
+			Scenario:    "flashcrowd",
+			Base:        map[string]float64{ParamPeers: 500},
+			Axes: []Axis{
+				{Param: ParamIntensity, Values: []float64{0.5, 1, 2}},
+			},
+		},
+	}
+}
+
+// Builtins returns the built-in campaign registry in stable order. The
+// returned specs are fresh copies; callers may adjust them freely.
+func Builtins() []*Spec { return builtins() }
+
+// Lookup resolves a built-in campaign by name.
+func Lookup(name string) (*Spec, bool) {
+	for _, s := range builtins() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the built-in campaign names, sorted.
+func Names() []string {
+	bs := builtins()
+	names := make([]string, len(bs))
+	for i, s := range bs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}

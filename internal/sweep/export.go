@@ -1,0 +1,259 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/p2prepro/locaware/internal/stats"
+)
+
+// Metric keys accepted by the figure exporters.
+const (
+	MetricSuccess  = "success"
+	MetricMessages = "msgs"
+	MetricRTT      = "rtt"
+	MetricSameLoc  = "sameloc"
+	MetricCacheHit = "cachehit"
+	MetricHops     = "hops"
+)
+
+// Metrics lists the exportable metric keys in presentation order.
+func Metrics() []string {
+	return []string{MetricSuccess, MetricMessages, MetricRTT, MetricSameLoc, MetricCacheHit, MetricHops}
+}
+
+// MetricSummary selects one cross-trial summary from a protocol cell by
+// metric key, reporting whether the key is known.
+func MetricSummary(p ProtocolCell, key string) (stats.Summary, bool) { return metricOf(p, key) }
+
+// metricOf selects one cross-trial summary from a protocol cell.
+func metricOf(p ProtocolCell, key string) (stats.Summary, bool) {
+	switch key {
+	case MetricSuccess:
+		return p.Summary.SuccessRate, true
+	case MetricMessages:
+		return p.Summary.MessagesPerQuery, true
+	case MetricRTT:
+		return p.Summary.DownloadRTT, true
+	case MetricSameLoc:
+		return p.Summary.SameLocalityRate, true
+	case MetricCacheHit:
+		return p.Summary.CacheHitRate, true
+	case MetricHops:
+		return p.Summary.Hops, true
+	}
+	return stats.Summary{}, false
+}
+
+// csvMetrics are the tidy-CSV metric columns: key → (column stem, summary
+// selector), in export order.
+var csvMetrics = []struct {
+	stem string
+	key  string
+}{
+	{"success", MetricSuccess},
+	{"msgs_per_query", MetricMessages},
+	{"download_rtt_ms", MetricRTT},
+	{"same_locality", MetricSameLoc},
+	{"cache_hit", MetricCacheHit},
+	{"hops", MetricHops},
+}
+
+// g formats a float the way every sweep export does: shortest
+// round-trippable decimal, so files are stable across platforms and diffs
+// stay readable.
+func g(v float64) string { return fmt.Sprintf("%g", v) }
+
+// CSV renders the campaign as one tidy table: a row per (cell × protocol)
+// carrying the cell index, one column per axis parameter, the protocol,
+// the trial count, and mean plus 95% CI columns for every headline metric.
+// Rows appear in grid order, protocols in campaign order — the layout is
+// deterministic and byte-identical for every worker count.
+func (c *Campaign) CSV() string {
+	var b strings.Builder
+	b.WriteString("cell")
+	for _, a := range c.Spec.Axes {
+		b.WriteByte(',')
+		b.WriteString(a.Param)
+	}
+	b.WriteString(",protocol,trials")
+	for _, m := range csvMetrics {
+		fmt.Fprintf(&b, ",%s,%s_ci95", m.stem, m.stem)
+	}
+	b.WriteByte('\n')
+	for _, cell := range c.Cells {
+		for _, p := range cell.Protocols {
+			fmt.Fprintf(&b, "%d", cell.Index)
+			for _, co := range cell.Coords {
+				b.WriteByte(',')
+				if co.Param == ParamScenario {
+					b.WriteString(co.Scenario)
+				} else {
+					b.WriteString(g(co.Value))
+				}
+			}
+			fmt.Fprintf(&b, ",%s,%d", p.Protocol, c.Trials)
+			for _, m := range csvMetrics {
+				s, _ := metricOf(p, m.key)
+				fmt.Fprintf(&b, ",%s,%s", g(s.Mean), g(s.CI95()))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// PhaseCSV renders the campaign's per-phase aggregates as a tidy table: a
+// row per (cell × protocol × phase) with mean and 95% CI columns for every
+// phase metric. It returns "" when no cell ran under a scenario.
+func (c *Campaign) PhaseCSV() string {
+	any := false
+	for _, cell := range c.Cells {
+		for _, p := range cell.Protocols {
+			if len(p.Phases) > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("cell")
+	for _, a := range c.Spec.Axes {
+		b.WriteByte(',')
+		b.WriteString(a.Param)
+	}
+	b.WriteString(",protocol,phase,phase_start,phase_end")
+	for _, m := range csvMetrics {
+		fmt.Fprintf(&b, ",%s,%s_ci95", m.stem, m.stem)
+	}
+	b.WriteByte('\n')
+	for _, cell := range c.Cells {
+		for _, p := range cell.Protocols {
+			for _, ph := range p.Phases {
+				fmt.Fprintf(&b, "%d", cell.Index)
+				for _, co := range cell.Coords {
+					b.WriteByte(',')
+					if co.Param == ParamScenario {
+						b.WriteString(co.Scenario)
+					} else {
+						b.WriteString(g(co.Value))
+					}
+				}
+				fmt.Fprintf(&b, ",%s,%s,%d,%d", p.Protocol, ph.Name, ph.Start, ph.End)
+				for _, sum := range []stats.Summary{
+					ph.SuccessRate, ph.MessagesPerQuery, ph.DownloadRTT,
+					ph.SameLocalityRate, ph.CacheHitRate, ph.AvgHops,
+				} {
+					fmt.Fprintf(&b, ",%s,%s", g(sum.Mean), g(sum.CI95()))
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+// axisIndex resolves the figure x axis: the named parameter, or the first
+// axis when axisParam is empty.
+func (c *Campaign) axisIndex(axisParam string) (int, error) {
+	if axisParam == "" {
+		return 0, nil
+	}
+	for i, a := range c.Spec.Axes {
+		if a.Param == axisParam {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sweep: campaign %q has no axis %q", c.Spec.Name, axisParam)
+}
+
+// FigureSeries extracts the campaign as paper-figure curves: one series
+// per protocol (per combination of the non-x axes, when the grid has more
+// than one), x = the chosen axis value, y = the cell's trial-mean metric,
+// err = its 95% confidence half-width. axisParam "" selects the first
+// axis; metric is one of the Metric… keys. Points appear in grid order,
+// so series x values follow the axis's declared value order. For a
+// scenario-name x axis the value index stands in for x.
+func (c *Campaign) FigureSeries(metric, axisParam string) ([]*stats.Series, error) {
+	ai, err := c.axisIndex(axisParam)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := metricOf(ProtocolCell{}, metric); !ok {
+		return nil, fmt.Errorf("sweep: unknown metric %q (have %s)", metric, strings.Join(Metrics(), ", "))
+	}
+	xOf := func(cell CellResult) float64 {
+		co := cell.Coords[ai]
+		if co.Param == ParamScenario {
+			// Scenario names have no numeric value; their axis position
+			// stands in.
+			for k, name := range c.Spec.Axes[ai].Scenarios {
+				if name == co.Scenario {
+					return float64(k)
+				}
+			}
+		}
+		return co.Value
+	}
+	// Series are keyed by protocol plus the fixed coordinates of every
+	// other axis, so a 2-D sweep becomes one curve per (protocol × other
+	// value) instead of silently averaging.
+	keyOf := func(proto string, cell CellResult) string {
+		key := proto
+		for i, co := range cell.Coords {
+			if i != ai {
+				key += " " + co.String()
+			}
+		}
+		return key
+	}
+	var order []string
+	byKey := map[string]*stats.Series{}
+	for _, cell := range c.Cells {
+		for _, p := range cell.Protocols {
+			key := keyOf(p.Protocol, cell)
+			s, ok := byKey[key]
+			if !ok {
+				s = &stats.Series{Name: key}
+				byKey[key] = s
+				order = append(order, key)
+			}
+			sum, _ := metricOf(p, metric)
+			if c.Trials > 1 {
+				s.AddErr(xOf(cell), sum.Mean, sum.CI95())
+			} else {
+				s.Add(xOf(cell), sum.Mean)
+			}
+		}
+	}
+	out := make([]*stats.Series, len(order))
+	for i, key := range order {
+		out[i] = byKey[key]
+	}
+	return out, nil
+}
+
+// FigureTable renders one metric of the campaign as an aligned text table
+// — a row per x-axis value, a column per protocol curve, mean±ci95 cells —
+// the same presentation the paper's figures use.
+func (c *Campaign) FigureTable(metric, axisParam string) (string, error) {
+	series, err := c.FigureSeries(metric, axisParam)
+	if err != nil {
+		return "", err
+	}
+	ai, _ := c.axisIndex(axisParam)
+	return stats.Table(c.Spec.Axes[ai].Param, series), nil
+}
+
+// FigureCSV renders one metric of the campaign as figure-shaped CSV (x
+// column plus a value and a _ci95 column per curve) for external plotting.
+func (c *Campaign) FigureCSV(metric, axisParam string) (string, error) {
+	series, err := c.FigureSeries(metric, axisParam)
+	if err != nil {
+		return "", err
+	}
+	ai, _ := c.axisIndex(axisParam)
+	return stats.CSV(c.Spec.Axes[ai].Param, series), nil
+}

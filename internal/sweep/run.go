@@ -1,0 +1,221 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/exper"
+	"github.com/p2prepro/locaware/internal/metrics"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// ProtocolCell is one protocol's replicated result at one grid point: the
+// cross-trial summary of the headline metrics plus, under a scenario, the
+// phase-aligned cross-trial phase windows.
+type ProtocolCell struct {
+	// Protocol is the protocol name.
+	Protocol string
+	// Summary aggregates the headline metrics across the cell's trials —
+	// identical to the Summary a standalone core.RunTrials of this cell
+	// produces.
+	Summary core.TrialSummary
+	// Phases aggregates the scenario phase windows across trials; nil
+	// without a scenario.
+	Phases []metrics.PhaseStats
+}
+
+// CellResult is one fully aggregated grid point: its identity (index,
+// seed, coordinates) plus one ProtocolCell per campaign protocol, in
+// protocol-set order.
+type CellResult struct {
+	Cell
+	// Protocols holds the per-protocol aggregates in campaign order.
+	Protocols []ProtocolCell
+}
+
+// Campaign is one executed sweep: the spec, the resolved identity of the
+// run (seed, trials, protocol set), and every aggregated cell in grid
+// order. Campaigns hold only aggregates — per-trial collectors are folded
+// and released as results stream in, so campaign memory is O(cells ×
+// protocols × phases), independent of trial and query counts.
+type Campaign struct {
+	// Spec is the campaign definition.
+	Spec *Spec
+	// Seed is the resolved campaign root seed.
+	Seed int64
+	// Trials is the resolved replication count per cell.
+	Trials int
+	// Protocols is the resolved protocol set.
+	Protocols []string
+	// Cells holds the aggregated grid in expansion order.
+	Cells []CellResult
+	// Elapsed is the campaign's wall-clock duration (reporting only; it
+	// never appears in exported tables).
+	Elapsed time.Duration
+}
+
+// CellsPerSecond reports campaign throughput in grid cells per wall-clock
+// second (0 when the elapsed time was not captured).
+func (c *Campaign) CellsPerSecond() float64 {
+	if c.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(c.Cells)) / c.Elapsed.Seconds()
+}
+
+// Runs returns the total simulation count of the campaign
+// (cells × protocols × trials).
+func (c *Campaign) Runs() int {
+	return len(c.Cells) * len(c.Protocols) * c.Trials
+}
+
+// resolved holds a validated spec lowered onto a base configuration:
+// expanded cells, per-cell configs with their scenario grids resolved, and
+// the behaviour set.
+type resolved struct {
+	spec      *Spec
+	seed      int64
+	trials    int
+	names     []string
+	behaviors []protocol.Behavior
+	cells     []Cell
+	cellCfgs  []core.Config
+}
+
+// resolve validates and lowers the spec against the base configuration.
+func resolve(base core.Config, s *Spec) (*resolved, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = base.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	names := s.protocols()
+	behaviors := make([]protocol.Behavior, len(names))
+	for i, n := range names {
+		b, ok := behaviorOf(n)
+		if !ok {
+			return nil, fmt.Errorf("sweep %q: unknown protocol %q", s.Name, n)
+		}
+		behaviors[i] = b
+	}
+	// The campaign owns dynamics configuration: the legacy churn flag and
+	// any ambient scenario on the base config are cleared so cells run
+	// exactly what the spec says (spec/axis scenario, or nothing).
+	base.ChurnEnabled = false
+	base.Scenario = nil
+	cells := s.Cells(seed)
+	cellCfgs := make([]core.Config, len(cells))
+	for i, c := range cells {
+		cfg, err := s.cellConfig(base, c)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Scenario != nil {
+			if _, err := cfg.Scenario.Marks(s.Queries); err != nil {
+				return nil, fmt.Errorf("sweep %q cell %d: %w", s.Name, c.Index, err)
+			}
+		}
+		cellCfgs[i] = core.ResolveScenario(cfg, s.Queries)
+	}
+	return &resolved{
+		spec: s, seed: seed, trials: s.trials(),
+		names: names, behaviors: behaviors,
+		cells: cells, cellCfgs: cellCfgs,
+	}, nil
+}
+
+// Run executes the campaign over the base configuration across a worker
+// pool bounded by workers (<= 0 means one per CPU). The full
+// (cell × protocol × trial) job grid shares one pool, so a four-cell
+// campaign saturates the machine even at one trial per cell. Results are
+// identical for every worker count: jobs are index-addressed, folded in
+// index order, and each trial's seed depends only on (campaign seed,
+// cell index, trial index).
+func Run(base core.Config, s *Spec, workers int) (*Campaign, error) {
+	r, err := resolve(base, s)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	nProtos := len(r.behaviors)
+	perCell := nProtos * r.trials
+	n := len(r.cells) * perCell
+
+	camp := &Campaign{
+		Spec: s, Seed: r.seed, Trials: r.trials, Protocols: r.names,
+		Cells: make([]CellResult, len(r.cells)),
+	}
+	for i, c := range r.cells {
+		camp.Cells[i] = CellResult{Cell: c, Protocols: make([]ProtocolCell, nProtos)}
+	}
+
+	// Streamed aggregation: every finished run arrives in index order, is
+	// folded into its (cell, protocol) accumulator, and — once the
+	// accumulator holds all trials — collapses into the final aggregate so
+	// the run results (and their collectors) become garbage immediately.
+	// At most O(workers) undelivered results plus one cell-row of pending
+	// accumulators are alive at any point.
+	accs := make([][]*core.RunResult, len(r.cells)*nProtos)
+	exper.Stream(n, workers, func(j int) *core.RunResult {
+		cell := j / perCell
+		rem := j % perCell
+		proto := rem / r.trials
+		trial := rem % r.trials
+		cfg := r.cellCfgs[cell]
+		cfg.Seed = sim.TrialSeed(r.cells[cell].Seed, trial)
+		return core.NewSimulation(cfg, r.behaviors[proto]).RunMeasured(s.Warmup, s.Queries)
+	}, func(j int, run *core.RunResult) {
+		cell := j / perCell
+		proto := (j % perCell) / r.trials
+		k := cell*nProtos + proto
+		accs[k] = append(accs[k], run)
+		if len(accs[k]) == r.trials {
+			camp.Cells[cell].Protocols[proto] = ProtocolCell{
+				Protocol: r.names[proto],
+				Summary:  core.SummarizeTrials(accs[k]),
+				Phases:   core.AggregateRunPhases(accs[k]),
+			}
+			accs[k] = nil
+		}
+	})
+	camp.Elapsed = time.Since(start)
+	return camp, nil
+}
+
+// RunCell executes a single grid cell in isolation — same derivation, same
+// configuration, same aggregation as the full campaign — and returns its
+// aggregated result. The determinism contract guarantees the values equal
+// the cell's entry in a full Run byte for byte; tests lock this.
+func RunCell(base core.Config, s *Spec, cell, workers int) (*CellResult, error) {
+	r, err := resolve(base, s)
+	if err != nil {
+		return nil, err
+	}
+	if cell < 0 || cell >= len(r.cells) {
+		return nil, fmt.Errorf("sweep %q: cell %d out of range [0, %d)", s.Name, cell, len(r.cells))
+	}
+	out := &CellResult{Cell: r.cells[cell], Protocols: make([]ProtocolCell, len(r.behaviors))}
+	for p, b := range r.behaviors {
+		cfg := r.cellCfgs[cell]
+		topt := core.TrialOptions{Trials: r.trials, Workers: workers}
+		tc := core.RunTrials(withSeed(cfg, r.cells[cell].Seed), b, topt, s.Warmup, s.Queries)
+		out.Protocols[p] = ProtocolCell{
+			Protocol: r.names[p],
+			Summary:  tc.Summary,
+			Phases:   tc.PhaseStats,
+		}
+	}
+	return out, nil
+}
+
+func withSeed(cfg core.Config, seed int64) core.Config {
+	cfg.Seed = seed
+	return cfg
+}

@@ -1,0 +1,433 @@
+// Package sweep is the declarative campaign engine of the experiment
+// harness: it turns a figure-sized question — "how does each protocol's
+// success rate move as the network grows / the cache shrinks / the churn
+// intensifies?" — into one schedulable object. A Spec names axes over
+// simulation parameters (overlay size, cache capacity, TTL, scenario
+// intensity, …), a protocol set and a trials-per-cell count; the engine
+// expands the cartesian grid into cells, fans the (cell × protocol ×
+// trial) jobs out across the deterministic worker pool, streams every
+// finished run into a cross-trial, per-phase aggregator (no per-query
+// records are ever held), and exports tidy CSV plus paper-figure series
+// keyed by axis value with mean ± 95% CI error bars.
+//
+// Determinism is cell-local: cell c's root seed derives from the campaign
+// seed and c alone (CellSeed), and trial t inside the cell runs under
+// sim.TrialSeed(cellSeed, t) — exactly the derivation core.RunTrials uses.
+// Any subset of the grid therefore reproduces byte-identically: re-running
+// one cell in isolation (RunCell), or the same campaign at a different
+// worker count, yields the same numbers bit for bit.
+//
+// Specs are plain data. The built-in registry (Builtins) regenerates the
+// paper's figure grids — overlay-size, cache-capacity, TTL and
+// churn/flash-crowd intensity sweeps — and ParseSpec loads custom
+// campaigns from JSON, so new sweeps need no code.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/scenario"
+)
+
+// Axis parameter names accepted by Axis.Param and Spec.Base.
+const (
+	ParamPeers          = "peers"
+	ParamAvgDegree      = "avg-degree"
+	ParamLandmarks      = "landmarks"
+	ParamFiles          = "files"
+	ParamFilesPerPeer   = "files-per-peer"
+	ParamKeywordPool    = "keyword-pool"
+	ParamQueryRate      = "query-rate"
+	ParamZipfS          = "zipf-s"
+	ParamTTL            = "ttl"
+	ParamGroups         = "groups"
+	ParamCacheFilenames = "cache-filenames"
+	ParamCacheProviders = "cache-providers"
+	ParamBloomBits      = "bloom-bits"
+	// ParamScenario is the one string-valued axis: its Axis.Scenarios lists
+	// built-in scenario names the campaign steps through.
+	ParamScenario = "scenario"
+	// ParamIntensity scales the campaign scenario's dynamics magnitudes
+	// (scenario.ScaleIntensity); it requires a scenario, from Spec.Scenario
+	// or a scenario axis.
+	ParamIntensity = "scenario-intensity"
+)
+
+// numericParams lists every numeric axis parameter and how it lowers onto
+// the core configuration.
+var numericParams = map[string]func(*core.Config, float64){
+	ParamPeers:          func(c *core.Config, v float64) { c.NumPeers = int(v) },
+	ParamAvgDegree:      func(c *core.Config, v float64) { c.AvgDegree = v },
+	ParamLandmarks:      func(c *core.Config, v float64) { c.Landmarks = int(v) },
+	ParamFiles:          func(c *core.Config, v float64) { c.Catalog.NumFiles = int(v) },
+	ParamFilesPerPeer:   func(c *core.Config, v float64) { c.FilesPerPeer = int(v) },
+	ParamKeywordPool:    func(c *core.Config, v float64) { c.Catalog.KeywordPool = int(v) },
+	ParamQueryRate:      func(c *core.Config, v float64) { c.Gen.RatePerPeer = v },
+	ParamZipfS:          func(c *core.Config, v float64) { c.Gen.ZipfS = v },
+	ParamTTL:            func(c *core.Config, v float64) { c.Protocol.TTL = int(v) },
+	ParamGroups:         func(c *core.Config, v float64) { c.Protocol.GroupCount = int(v) },
+	ParamCacheFilenames: func(c *core.Config, v float64) { c.Protocol.Cache.MaxFilenames = int(v) },
+	ParamCacheProviders: func(c *core.Config, v float64) { c.Protocol.Cache.MaxProvidersPerFile = int(v) },
+	ParamBloomBits:      func(c *core.Config, v float64) { c.Protocol.BloomBits = int(v) },
+}
+
+// Params lists the accepted axis parameter names, sorted — the numeric
+// configuration axes plus the scenario name/intensity pair.
+func Params() []string {
+	out := make([]string, 0, len(numericParams)+2)
+	for p := range numericParams {
+		out = append(out, p)
+	}
+	out = append(out, ParamScenario, ParamIntensity)
+	sort.Strings(out)
+	return out
+}
+
+// Spec is a declarative sweep campaign: the cartesian grid of its axes,
+// run for every protocol in the set, replicated trials-per-cell times.
+type Spec struct {
+	// Name identifies the campaign (registry key, report label).
+	Name string `json:"name"`
+	// Description is a one-line summary for listings.
+	Description string `json:"description,omitempty"`
+	// Protocols is the protocol set run in every cell; empty means the
+	// paper's four baselines.
+	Protocols []string `json:"protocols,omitempty"`
+	// Warmup and Queries are the per-run warmup and measured query counts.
+	Warmup  int `json:"warmup"`
+	Queries int `json:"queries"`
+	// Trials is the replication count per cell (<= 0 means 1). Trial t of
+	// cell c runs under sim.TrialSeed(CellSeed(seed, c), t).
+	Trials int `json:"trials,omitempty"`
+	// Seed roots the campaign; 0 inherits the base configuration's seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Scenario optionally names a built-in scenario every cell runs under
+	// (a scenario axis overrides it per cell); required by a
+	// scenario-intensity axis.
+	Scenario string `json:"scenario,omitempty"`
+	// Base overrides numeric configuration parameters for every cell
+	// before the axes apply — e.g. {"peers": 500} pins the overlay size of
+	// a cache sweep.
+	Base map[string]float64 `json:"base,omitempty"`
+	// Axes span the grid; cells enumerate their cartesian product with the
+	// last axis varying fastest.
+	Axes []Axis `json:"axes"`
+}
+
+// Axis is one swept parameter: a numeric value list, or — for the
+// "scenario" parameter — a list of built-in scenario names.
+type Axis struct {
+	// Param is one of the Param… constants.
+	Param string `json:"param"`
+	// Values holds the numeric axis points, in sweep order.
+	Values []float64 `json:"values,omitempty"`
+	// Scenarios holds the scenario-name axis points (Param "scenario").
+	Scenarios []string `json:"scenarios,omitempty"`
+}
+
+// points returns the axis length.
+func (a Axis) points() int {
+	if a.Param == ParamScenario {
+		return len(a.Scenarios)
+	}
+	return len(a.Values)
+}
+
+func (s *Spec) trials() int {
+	if s.Trials < 1 {
+		return 1
+	}
+	return s.Trials
+}
+
+// protocols returns the campaign's protocol set (default: the four
+// baselines, in figure order).
+func (s *Spec) protocols() []string {
+	if len(s.Protocols) > 0 {
+		return s.Protocols
+	}
+	return []string{"Flooding", "Dicas", "Dicas-Keys", "Locaware"}
+}
+
+// behaviorOf maps a protocol name to its behaviour implementation.
+func behaviorOf(name string) (protocol.Behavior, bool) {
+	switch name {
+	case "Flooding":
+		return protocol.Flooding{}, true
+	case "Dicas":
+		return protocol.Dicas{}, true
+	case "Dicas-Keys":
+		return protocol.DicasKeys{}, true
+	case "Locaware":
+		return protocol.Locaware{}, true
+	case "Locaware-LR":
+		return protocol.LocawareLR{}, true
+	}
+	return nil, false
+}
+
+// Validate checks the spec's internal consistency: a name, positive query
+// counts, known protocols, at least one axis with at least one point per
+// axis, no duplicated axis parameters, resolvable scenario names, and an
+// intensity axis only alongside a scenario.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("sweep: nil spec")
+	}
+	if s.Name == "" {
+		return fmt.Errorf("sweep: spec needs a name")
+	}
+	if s.Queries <= 0 {
+		return fmt.Errorf("sweep %q: queries must be positive", s.Name)
+	}
+	if s.Warmup < 0 {
+		return fmt.Errorf("sweep %q: warmup must be non-negative", s.Name)
+	}
+	for _, p := range s.protocols() {
+		if _, ok := behaviorOf(p); !ok {
+			return fmt.Errorf("sweep %q: unknown protocol %q", s.Name, p)
+		}
+	}
+	if s.Scenario != "" {
+		if _, ok := scenario.Lookup(s.Scenario); !ok {
+			return fmt.Errorf("sweep %q: unknown scenario %q", s.Name, s.Scenario)
+		}
+	}
+	for param := range s.Base {
+		if _, ok := numericParams[param]; !ok {
+			return fmt.Errorf("sweep %q: base override %q is not a numeric parameter", s.Name, param)
+		}
+	}
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("sweep %q: needs at least one axis", s.Name)
+	}
+	seen := map[string]bool{}
+	hasScenarioAxis := false
+	hasIntensityAxis := false
+	for i, a := range s.Axes {
+		if seen[a.Param] {
+			return fmt.Errorf("sweep %q: axis %d duplicates parameter %q", s.Name, i, a.Param)
+		}
+		seen[a.Param] = true
+		switch {
+		case a.Param == ParamScenario:
+			hasScenarioAxis = true
+			if len(a.Scenarios) == 0 {
+				return fmt.Errorf("sweep %q: scenario axis needs scenario names", s.Name)
+			}
+			if len(a.Values) > 0 {
+				return fmt.Errorf("sweep %q: scenario axis takes names, not values", s.Name)
+			}
+			for _, name := range a.Scenarios {
+				if _, ok := scenario.Lookup(name); !ok {
+					return fmt.Errorf("sweep %q: unknown scenario %q on the scenario axis", s.Name, name)
+				}
+			}
+		case a.Param == ParamIntensity:
+			hasIntensityAxis = true
+			if len(a.Values) == 0 {
+				return fmt.Errorf("sweep %q: axis %q needs values", s.Name, a.Param)
+			}
+			for _, v := range a.Values {
+				if v < 0 {
+					return fmt.Errorf("sweep %q: scenario intensities must be non-negative", s.Name)
+				}
+			}
+		default:
+			if _, ok := numericParams[a.Param]; !ok {
+				return fmt.Errorf("sweep %q: axis %d has unknown parameter %q (have %v)",
+					s.Name, i, a.Param, Params())
+			}
+			if len(a.Values) == 0 {
+				return fmt.Errorf("sweep %q: axis %q needs values", s.Name, a.Param)
+			}
+		}
+	}
+	if hasIntensityAxis && s.Scenario == "" && !hasScenarioAxis {
+		return fmt.Errorf("sweep %q: a scenario-intensity axis needs a scenario (spec-level or a scenario axis)", s.Name)
+	}
+	return nil
+}
+
+// NumCells returns the grid size (the product of the axis lengths).
+func (s *Spec) NumCells() int {
+	n := 1
+	for _, a := range s.Axes {
+		n *= a.points()
+	}
+	return n
+}
+
+// Coordinate is one cell's position along one axis.
+type Coordinate struct {
+	// Param is the axis parameter.
+	Param string
+	// Value is the numeric axis value (unused for the scenario axis).
+	Value float64
+	// Scenario is the scenario-axis value (Param "scenario" only).
+	Scenario string
+}
+
+// String renders the coordinate as "param=value".
+func (c Coordinate) String() string {
+	if c.Param == ParamScenario {
+		return fmt.Sprintf("%s=%s", c.Param, c.Scenario)
+	}
+	return fmt.Sprintf("%s=%g", c.Param, c.Value)
+}
+
+// Cell is one grid point: its flat index in expansion order, its derived
+// root seed, and its coordinates in axis order.
+type Cell struct {
+	// Index is the cell's position in the row-major grid expansion (last
+	// axis fastest).
+	Index int
+	// Seed is CellSeed(campaign seed, Index): the root every trial of this
+	// cell derives from.
+	Seed int64
+	// Coords locates the cell, one entry per axis in spec order.
+	Coords []Coordinate
+}
+
+// Label renders the cell's coordinates as "p1=v1 p2=v2".
+func (c Cell) Label() string {
+	out := ""
+	for i, co := range c.Coords {
+		if i > 0 {
+			out += " "
+		}
+		out += co.String()
+	}
+	return out
+}
+
+// Cells expands the grid in deterministic row-major order (axis 0 slowest,
+// last axis fastest) and derives each cell's root seed from the campaign
+// root. The expansion order is part of the determinism contract: cell
+// indexes — and therefore seeds — depend only on the spec's axes.
+func (s *Spec) Cells(root int64) []Cell {
+	n := s.NumCells()
+	cells := make([]Cell, n)
+	for i := 0; i < n; i++ {
+		coords := make([]Coordinate, len(s.Axes))
+		rem := i
+		for a := len(s.Axes) - 1; a >= 0; a-- {
+			axis := s.Axes[a]
+			p := axis.points()
+			k := rem % p
+			rem /= p
+			co := Coordinate{Param: axis.Param}
+			if axis.Param == ParamScenario {
+				co.Scenario = axis.Scenarios[k]
+			} else {
+				co.Value = axis.Values[k]
+			}
+			coords[a] = co
+		}
+		cells[i] = Cell{Index: i, Seed: CellSeed(root, i), Coords: coords}
+	}
+	return cells
+}
+
+// CellSeed derives grid cell `cell`'s root seed from the campaign root.
+// Cell 0 keeps the root unchanged — the first cell of a campaign is
+// bit-for-bit a plain RunTrials at the campaign seed — and later cells
+// push the pair through a SplitMix64-style finalizer (with a different
+// multiplier than sim.TrialSeed, so cell and trial derivations never
+// alias) landing neighbouring cells in decorrelated seed-space regions.
+// Trial t of the cell then runs under sim.TrialSeed(CellSeed(root, cell),
+// t), which is exactly the seed a standalone RunTrials of the cell's
+// configuration would use.
+func CellSeed(root int64, cell int) int64 {
+	if cell == 0 {
+		return root
+	}
+	z := uint64(root) + uint64(cell)*0xd1342543de82ef95
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0xd1342543de82ef95
+	}
+	return int64(z)
+}
+
+// cellConfig lowers one cell onto the base configuration: base overrides
+// first, then the cell's coordinates, then the scenario selection (name
+// axis over spec-level name) scaled by the intensity coordinate. The
+// returned config still needs its Seed set per trial and its scenario
+// phase grid resolved (core.ResolveScenario).
+func (s *Spec) cellConfig(base core.Config, c Cell) (core.Config, error) {
+	cfg := base
+	// Apply base overrides in sorted-key order; each parameter touches a
+	// distinct field, the sort just keeps the walk deterministic.
+	if len(s.Base) > 0 {
+		params := make([]string, 0, len(s.Base))
+		for p := range s.Base {
+			params = append(params, p)
+		}
+		sort.Strings(params)
+		for _, p := range params {
+			numericParams[p](&cfg, s.Base[p])
+		}
+	}
+	scenName := s.Scenario
+	intensity := -1.0
+	for _, co := range c.Coords {
+		switch co.Param {
+		case ParamScenario:
+			scenName = co.Scenario
+		case ParamIntensity:
+			intensity = co.Value
+		default:
+			apply, ok := numericParams[co.Param]
+			if !ok {
+				return cfg, fmt.Errorf("sweep %q: unknown parameter %q", s.Name, co.Param)
+			}
+			apply(&cfg, co.Value)
+		}
+	}
+	if scenName != "" {
+		spec, ok := scenario.Lookup(scenName)
+		if !ok {
+			return cfg, fmt.Errorf("sweep %q: unknown scenario %q", s.Name, scenName)
+		}
+		cfg.Scenario = spec
+	}
+	if intensity >= 0 {
+		if cfg.Scenario == nil {
+			return cfg, fmt.Errorf("sweep %q: scenario-intensity axis without a scenario", s.Name)
+		}
+		cfg.Scenario = cfg.Scenario.ScaleIntensity(intensity)
+	}
+	return cfg, nil
+}
+
+// ParseSpec decodes and validates a JSON campaign. Unknown fields are
+// rejected so a typo in a hand-written spec fails loudly instead of
+// silently sweeping the wrong grid.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// JSON renders the spec as indented JSON — the exact format ParseSpec
+// accepts, so every built-in doubles as a template for custom campaigns.
+func (s *Spec) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

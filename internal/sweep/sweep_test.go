@@ -1,0 +1,359 @@
+package sweep
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// tinySpec is the 2×2×2 determinism fixture: a 2-axis grid (2 peers
+// values × 2 cache capacities) replicated over 2 trials, under a phased
+// scenario so the per-phase aggregation path is exercised too.
+func tinySpec() *Spec {
+	return &Spec{
+		Name:      "tiny",
+		Warmup:    40,
+		Queries:   120,
+		Trials:    2,
+		Protocols: []string{"Dicas", "Locaware"},
+		Scenario:  "churn-waves",
+		Axes: []Axis{
+			{Param: ParamPeers, Values: []float64{60, 90}},
+			{Param: ParamCacheFilenames, Values: []float64{5, 50}},
+		},
+	}
+}
+
+func TestCellSeed(t *testing.T) {
+	for _, root := range []int64{1, 42, -7} {
+		if got := CellSeed(root, 0); got != root {
+			t.Fatalf("CellSeed(%d, 0) = %d, want identity", root, got)
+		}
+	}
+	seen := map[int64]bool{}
+	for cell := 0; cell < 100; cell++ {
+		s := CellSeed(9, cell)
+		if s2 := CellSeed(9, cell); s2 != s {
+			t.Fatalf("CellSeed(9, %d) unstable: %d vs %d", cell, s, s2)
+		}
+		if seen[s] {
+			t.Fatalf("CellSeed(9, %d) = %d collides", cell, s)
+		}
+		seen[s] = true
+	}
+	// Cell and trial derivations must not alias: otherwise cell c/trial 0
+	// would share a world with cell 0/trial c.
+	for i := 1; i < 50; i++ {
+		if CellSeed(9, i) == sim.TrialSeed(9, i) {
+			t.Fatalf("CellSeed and TrialSeed alias at index %d", i)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := tinySpec()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("tiny spec must validate: %v", err)
+	}
+	bad := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Queries = 0 },
+		func(s *Spec) { s.Warmup = -1 },
+		func(s *Spec) { s.Protocols = []string{"Chord"} },
+		func(s *Spec) { s.Scenario = "no-such-scenario" },
+		func(s *Spec) { s.Axes = nil },
+		func(s *Spec) { s.Axes[0].Param = "peerz" },
+		func(s *Spec) { s.Axes[0].Values = nil },
+		func(s *Spec) { s.Axes[1].Param = s.Axes[0].Param },
+		func(s *Spec) { s.Base = map[string]float64{"scenario": 1} },
+		func(s *Spec) {
+			s.Axes = append(s.Axes, Axis{Param: ParamScenario, Scenarios: []string{"nope"}})
+		},
+		func(s *Spec) {
+			s.Scenario = ""
+			s.Axes = []Axis{{Param: ParamIntensity, Values: []float64{1}}}
+		},
+		func(s *Spec) {
+			s.Axes = []Axis{{Param: ParamIntensity, Values: []float64{-1}}}
+		},
+	}
+	for i, mutate := range bad {
+		s := tinySpec()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("mutation %d must fail validation", i)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name":"x","queries":10,"axes":[{"param":"peers","values":[10]}],"warmpu":3}`)); err == nil {
+		t.Fatal("typo'd field must be rejected")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, s := range Builtins() {
+		data, err := s.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("builtin %q does not round-trip: %v", s.Name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("builtin %q drifted over JSON round-trip", s.Name)
+		}
+	}
+}
+
+func TestBuiltinsResolve(t *testing.T) {
+	if len(Builtins()) < 4 {
+		t.Fatalf("want at least 4 built-in campaigns, have %d", len(Builtins()))
+	}
+	for _, s := range Builtins() {
+		if _, err := resolve(core.DefaultConfig(), s); err != nil {
+			t.Fatalf("builtin %q does not resolve: %v", s.Name, err)
+		}
+	}
+	if _, ok := Lookup("size-sweep"); !ok {
+		t.Fatal("size-sweep missing from registry")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestCellsExpansionOrder(t *testing.T) {
+	s := &Spec{
+		Name: "order", Queries: 10,
+		Axes: []Axis{
+			{Param: ParamPeers, Values: []float64{100, 200}},
+			{Param: ParamTTL, Values: []float64{3, 5, 7}},
+		},
+	}
+	cells := s.Cells(1)
+	if len(cells) != 6 || s.NumCells() != 6 {
+		t.Fatalf("2×3 grid expanded to %d cells", len(cells))
+	}
+	// Row-major: axis 0 slowest, axis 1 fastest.
+	want := [][2]float64{{100, 3}, {100, 5}, {100, 7}, {200, 3}, {200, 5}, {200, 7}}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d carries index %d", i, c.Index)
+		}
+		if c.Coords[0].Value != want[i][0] || c.Coords[1].Value != want[i][1] {
+			t.Fatalf("cell %d = %s, want peers=%g ttl=%g", i, c.Label(), want[i][0], want[i][1])
+		}
+		if c.Seed != CellSeed(1, i) {
+			t.Fatalf("cell %d seed drifted", i)
+		}
+	}
+}
+
+func TestScenarioAxisConfig(t *testing.T) {
+	s := &Spec{
+		Name: "scen", Queries: 100, Warmup: 10,
+		Protocols: []string{"Locaware"},
+		Axes: []Axis{
+			{Param: ParamScenario, Scenarios: []string{"baseline", "steady-churn"}},
+			{Param: ParamIntensity, Values: []float64{0.5, 1}},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := resolve(core.DefaultConfig(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cells) != 4 {
+		t.Fatalf("expanded %d cells, want 4", len(r.cells))
+	}
+	for i, cfg := range r.cellCfgs {
+		if cfg.Scenario == nil {
+			t.Fatalf("cell %d lost its scenario", i)
+		}
+	}
+	if r.cellCfgs[0].Scenario.Name != "baseline" || r.cellCfgs[2].Scenario.Name != "steady-churn" {
+		t.Fatalf("scenario axis misapplied: %q / %q",
+			r.cellCfgs[0].Scenario.Name, r.cellCfgs[2].Scenario.Name)
+	}
+	// Intensity 0.5 must halve the steady-churn probabilities.
+	full := r.cellCfgs[3].Scenario.Phases[0].Churn
+	half := r.cellCfgs[2].Scenario.Phases[0].Churn
+	if half.LeaveProb != full.LeaveProb/2 || half.JoinProb != full.JoinProb/2 {
+		t.Fatalf("intensity scaling misapplied: half=%+v full=%+v", half, full)
+	}
+}
+
+// TestGoldenSweepCSV locks the tiny 2×2×2 campaign's full tidy CSV. Any
+// refactor that drifts a single cell value breaks this byte-for-byte
+// comparison; regenerate deliberately with
+// `go test ./internal/sweep -run TestGoldenSweepCSV -update`.
+func TestGoldenSweepCSV(t *testing.T) {
+	camp, err := Run(core.DefaultConfig(), tinySpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := camp.CSV()
+	path := filepath.Join("testdata", "golden_sweep_2x2x2.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("sweep CSV drifted from golden file %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestSweepWorkerInvariance asserts the determinism contract's core
+// clause: the campaign's exported bytes are identical at any worker count.
+func TestSweepWorkerInvariance(t *testing.T) {
+	spec := tinySpec()
+	seq, err := Run(core.DefaultConfig(), spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(core.DefaultConfig(), spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.CSV() != par.CSV() {
+		t.Fatal("cell CSV differs between 1 and 8 workers")
+	}
+	if seq.PhaseCSV() != par.PhaseCSV() {
+		t.Fatal("phase CSV differs between 1 and 8 workers")
+	}
+}
+
+// TestSweepCellIsolation locks the subset-reproducibility contract: one
+// cell re-run in isolation (RunCell) — and a plain core.RunTrials at the
+// cell's derived seed and configuration — reproduce the full campaign's
+// values bit for bit.
+func TestSweepCellIsolation(t *testing.T) {
+	spec := tinySpec()
+	camp, err := Run(core.DefaultConfig(), spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cell = 2 // peers=90, cache=5: mid-grid, seed != campaign root
+	iso, err := RunCell(core.DefaultConfig(), spec, cell, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(camp.Cells[cell].Cell, iso.Cell) {
+		t.Fatalf("cell identity drifted: %+v vs %+v", camp.Cells[cell].Cell, iso.Cell)
+	}
+	if !reflect.DeepEqual(camp.Cells[cell].Protocols, iso.Protocols) {
+		t.Fatalf("isolated cell re-run drifted from the full grid:\nfull: %+v\niso:  %+v",
+			camp.Cells[cell].Protocols, iso.Protocols)
+	}
+
+	// The standalone path: lower the cell's coordinates by hand and run
+	// core.RunTrials at the derived seed — the acceptance-criteria
+	// equivalence.
+	r, err := resolve(core.DefaultConfig(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, b := range r.behaviors {
+		cfg := r.cellCfgs[cell]
+		cfg.Seed = camp.Cells[cell].Seed
+		tc := core.RunTrials(cfg, b, core.TrialOptions{Trials: spec.Trials, Workers: 2}, spec.Warmup, spec.Queries)
+		if !reflect.DeepEqual(tc.Summary, camp.Cells[cell].Protocols[p].Summary) {
+			t.Fatalf("standalone RunTrials drifted from grid cell for %s:\ngrid: %+v\nsolo: %+v",
+				r.names[p], camp.Cells[cell].Protocols[p].Summary, tc.Summary)
+		}
+		if !reflect.DeepEqual(tc.PhaseStats, camp.Cells[cell].Protocols[p].Phases) {
+			t.Fatalf("standalone phase stats drifted from grid cell for %s", r.names[p])
+		}
+	}
+}
+
+// TestSweepScenarioProducesPhases asserts the streamed aggregator carries
+// the per-phase windows through to the campaign cells.
+func TestSweepScenarioProducesPhases(t *testing.T) {
+	camp, err := Run(core.DefaultConfig(), tinySpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range camp.Cells {
+		for _, p := range cell.Protocols {
+			if len(p.Phases) != 4 {
+				t.Fatalf("cell %d %s: %d phases, want churn-waves' 4", cell.Index, p.Protocol, len(p.Phases))
+			}
+			if p.Phases[0].SuccessRate.N != camp.Trials {
+				t.Fatalf("phase sample pools %d trials, want %d", p.Phases[0].SuccessRate.N, camp.Trials)
+			}
+		}
+	}
+	if camp.PhaseCSV() == "" {
+		t.Fatal("scenario campaign must export a phase CSV")
+	}
+}
+
+func TestRunCellOutOfRange(t *testing.T) {
+	if _, err := RunCell(core.DefaultConfig(), tinySpec(), 99, 1); err == nil {
+		t.Fatal("out-of-range cell must error")
+	}
+}
+
+func TestFigureExports(t *testing.T) {
+	camp, err := Run(core.DefaultConfig(), tinySpec(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := camp.FigureSeries(MetricSuccess, ParamPeers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 protocols × 2 fixed cache values = 4 curves, 2 points each.
+	if len(series) != 4 {
+		t.Fatalf("got %d series, want 4", len(series))
+	}
+	for _, s := range series {
+		if s.Len() != 2 || !s.HasErrs() {
+			t.Fatalf("series %q: %d points, errs=%v", s.Name, s.Len(), s.HasErrs())
+		}
+		if s.Xs[0] != 60 || s.Xs[1] != 90 {
+			t.Fatalf("series %q x grid = %v", s.Name, s.Xs)
+		}
+	}
+	if _, err := camp.FigureSeries("nope", ""); err == nil {
+		t.Fatal("unknown metric must error")
+	}
+	if _, err := camp.FigureSeries(MetricSuccess, "bloom-bits"); err == nil {
+		t.Fatal("unknown axis must error")
+	}
+	table, err := camp.FigureTable(MetricMessages, "")
+	if err != nil || !strings.Contains(table, "peers") {
+		t.Fatalf("figure table: %v\n%s", err, table)
+	}
+	csv, err := camp.FigureCSV(MetricRTT, ParamCacheFilenames)
+	if err != nil || !strings.HasPrefix(csv, "cache-filenames,") {
+		t.Fatalf("figure csv: %v\n%s", err, csv)
+	}
+}

@@ -36,6 +36,9 @@ const (
 	QueryFailed
 	// BloomGossip: a peer announced a Bloom filter update to a neighbour.
 	BloomGossip
+	// PhaseEnter: a scenario phase entered (its dynamics events fired).
+	// Phase events carry no peer (Peer = -1) and no query id.
+	PhaseEnter
 )
 
 // String names the kind.
@@ -61,6 +64,8 @@ func (k Kind) String() string {
 		return "failed"
 	case BloomGossip:
 		return "gossip"
+	case PhaseEnter:
+		return "phase"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

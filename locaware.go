@@ -137,6 +137,12 @@ type Options struct {
 	// longer grows with the query count; all aggregate metrics and figure
 	// tables are bit-identical either way.
 	RetainRecords bool
+	// Sweep, when non-nil, is the declarative campaign RunSweep executes:
+	// a grid of axes over these Options' parameters crossed with a protocol
+	// set, replicated per cell and aggregated with error bars. The other
+	// Options fields act as the campaign's base configuration. Only
+	// RunSweep consults it.
+	Sweep *Sweep
 	// Trials is the number of independent replications RunTrials and
 	// CompareTrials execute per protocol (<= 0 means 1). Trial t runs in
 	// its own simulated world rooted at a seed derived deterministically
@@ -411,19 +417,25 @@ type TraceEvent struct {
 	// AtSeconds is the virtual timestamp in seconds.
 	AtSeconds float64
 	// Kind is the action name: submit, forward, duplicate, storage-hit,
-	// cache-hit, response-hop, cached, download, failed, gossip.
+	// cache-hit, response-hop, cached, download, failed, gossip, phase.
 	Kind string
-	// Query is the query's sequence number (0 for gossip events).
+	// Query is the query's sequence number (0 for gossip and phase events).
 	Query uint64
 	// Peer is the acting peer; From the counterpart peer for link-crossing
-	// actions (-1 otherwise).
+	// actions (-1 otherwise). Network-wide events (scenario phase entries)
+	// carry no acting peer and set both to -1.
 	Peer, From int
-	// Detail is a short annotation (filename, provider, delta size).
+	// Detail is a short annotation (filename, provider, delta size,
+	// scenario phase identity).
 	Detail string
 }
 
 // String renders the event as a log line.
 func (e TraceEvent) String() string {
+	if e.Peer < 0 {
+		// Network-wide event (scenario phase entry): no query, no peer.
+		return fmt.Sprintf("%9.3fs ------ %-12s %s", e.AtSeconds, e.Kind, e.Detail)
+	}
 	if e.From >= 0 {
 		return fmt.Sprintf("%9.3fs q=%-4d %-12s peer=%-4d from=%-4d %s", e.AtSeconds, e.Query, e.Kind, e.Peer, e.From, e.Detail)
 	}
@@ -543,6 +555,11 @@ type TrialsResult struct {
 	ControlMessages     Estimate
 	ControlKbits        Estimate
 	CachedFilenames     Estimate
+	// Phases aggregates the scenario phase windows across trials,
+	// phase-aligned, so per-phase metrics carry cross-trial error bars like
+	// the headline metrics. Nil unless the runs executed under a scenario;
+	// render with PhaseEstimateTable or the PhaseTable method.
+	Phases []PhaseEstimates
 }
 
 func newTrialsResult(p Protocol, cell *core.TrialCell) *TrialsResult {
@@ -557,6 +574,20 @@ func newTrialsResult(p Protocol, cell *core.TrialCell) *TrialsResult {
 		ControlMessages:     toEstimate(cell.Summary.ControlMessages),
 		ControlKbits:        toEstimate(cell.Summary.ControlKbits),
 		CachedFilenames:     toEstimate(cell.Summary.CachedFilenames),
+	}
+	for _, ps := range cell.PhaseStats {
+		tr.Phases = append(tr.Phases, PhaseEstimates{
+			Phase:               ps.Name,
+			Start:               ps.Start,
+			End:                 ps.End,
+			Queries:             toEstimate(ps.Queries),
+			SuccessRate:         toEstimate(ps.SuccessRate),
+			AvgMessagesPerQuery: toEstimate(ps.MessagesPerQuery),
+			AvgDownloadRTTMs:    toEstimate(ps.DownloadRTT),
+			SameLocalityRate:    toEstimate(ps.SameLocalityRate),
+			CacheHitRate:        toEstimate(ps.CacheHitRate),
+			AvgHops:             toEstimate(ps.AvgHops),
+		})
 	}
 	for _, r := range cell.Runs {
 		tr.Trials = append(tr.Trials, newResult(p, r))

@@ -3,6 +3,7 @@ package locaware
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 
 	"github.com/p2prepro/locaware/internal/core"
@@ -47,6 +48,23 @@ func ParseScenario(data []byte) (*Scenario, error) {
 		return nil, err
 	}
 	return &Scenario{spec: spec}, nil
+}
+
+// LoadScenario resolves a CLI-style scenario argument: a built-in name
+// first; an argument containing path characters is read as a JSON spec
+// file instead. Both CLIs (locaware-exp, locaware-trace) resolve their
+// -scenario flags through this helper.
+func LoadScenario(nameOrPath string) (*Scenario, error) {
+	if sc, err := ScenarioByName(nameOrPath); err == nil {
+		return sc, nil
+	} else if !looksLikePath(nameOrPath) {
+		return nil, err
+	}
+	data, err := os.ReadFile(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("locaware: reading scenario spec: %w", err)
+	}
+	return ParseScenario(data)
 }
 
 // Name returns the scenario's name.
@@ -134,6 +152,50 @@ func RunScenario(o Options, p Protocol, sc *Scenario, warmup, queries int) (*Sce
 // PhaseTable renders the per-phase metrics as an aligned text table.
 func (r *ScenarioResult) PhaseTable() string {
 	return PhaseTable(r.Phases)
+}
+
+// PhaseEstimates is the cross-trial aggregation of one scenario phase:
+// every phase metric as a mean ± stddev ± 95% CI estimate pooled over the
+// replicated trials, phase-aligned (trial t's phase k contributes to
+// estimate k). Produced by RunTrials/CompareTrials when Options.Scenario
+// (or the legacy churn flag) is set.
+type PhaseEstimates struct {
+	// Phase is the phase's name from the scenario spec.
+	Phase string
+	// Start (exclusive) and End (inclusive) bound the phase's span of
+	// cumulative measured query counts, shared by all trials.
+	Start, End int
+	// Queries estimates how many queries each trial recorded in the span.
+	Queries Estimate
+	// The figure metrics over the phase.
+	SuccessRate         Estimate
+	AvgMessagesPerQuery Estimate
+	AvgDownloadRTTMs    Estimate
+	// The secondary metrics over the phase (success-conditioned).
+	SameLocalityRate Estimate
+	CacheHitRate     Estimate
+	AvgHops          Estimate
+}
+
+// PhaseTable renders the replicated per-phase metrics as an aligned text
+// table with mean±ci95 cells — the error-barred counterpart of the
+// single-run PhaseTable.
+func (r *TrialsResult) PhaseTable() string {
+	return PhaseEstimateTable(r.Phases)
+}
+
+// PhaseEstimateTable renders cross-trial per-phase estimates as an aligned
+// text table: one row per phase, mean±ci95 per metric.
+func PhaseEstimateTable(phases []PhaseEstimates) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %13s %13s %15s %13s %13s %11s\n",
+		"phase", "queries", "success", "msgs/q", "rtt(ms)", "sameLoc", "cacheHit", "hops")
+	for _, p := range phases {
+		fmt.Fprintf(&b, "%-12s %8.0f %13s %13s %15s %13s %13s %11s\n",
+			p.Phase, p.Queries.Mean, p.SuccessRate, p.AvgMessagesPerQuery, p.AvgDownloadRTTMs,
+			p.SameLocalityRate, p.CacheHitRate, p.AvgHops)
+	}
+	return b.String()
 }
 
 // PhaseTable renders per-phase metrics as an aligned text table: one row

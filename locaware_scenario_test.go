@@ -313,3 +313,99 @@ func TestScenarioTrialsContract(t *testing.T) {
 		t.Fatal("independent trials produced identical phase metrics (suspicious)")
 	}
 }
+
+// TestScenarioPhaseEstimates locks the replicated per-phase surface:
+// RunTrials/CompareTrials under a scenario aggregate the phase windows
+// across trials, phase-aligned, with cross-trial spread — and a
+// single-trial comparison collapses to the per-run phase values with
+// zero-width error bars.
+func TestScenarioPhaseEstimates(t *testing.T) {
+	o := scenarioOptions()
+	o.Scenario = mustScenario(t, "churn-waves")
+	o.Trials = 2
+	o.Workers = 2
+	tr, err := RunTrials(o, ProtocolLocaware, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Phases) != 4 {
+		t.Fatalf("churn-waves aggregated %d phases, want 4", len(tr.Phases))
+	}
+	for i, ph := range tr.Phases {
+		if ph.SuccessRate.N != 2 {
+			t.Fatalf("phase %d pools %d trials, want 2", i, ph.SuccessRate.N)
+		}
+		// The estimate must be the mean of the per-trial phase values.
+		want := (tr.Trials[0].Phases[i].SuccessRate + tr.Trials[1].Phases[i].SuccessRate) / 2
+		if ph.SuccessRate.Mean != want {
+			t.Fatalf("phase %d success mean %g != trial mean %g", i, ph.SuccessRate.Mean, want)
+		}
+		if ph.Phase != tr.Trials[0].Phases[i].Phase || ph.End != tr.Trials[0].Phases[i].End {
+			t.Fatalf("phase %d identity drifted: %+v", i, ph)
+		}
+	}
+	table := tr.PhaseTable()
+	if !strings.Contains(table, "wave") || !strings.Contains(table, "±") {
+		t.Fatalf("replicated phase table lacks phases or error bars:\n%s", table)
+	}
+
+	// Single-trial comparison: phase estimates equal the run's own phase
+	// metrics exactly, with no spread.
+	single := scenarioOptions()
+	single.Scenario = mustScenario(t, "churn-waves")
+	cmp, err := CompareTrials(single, []Protocol{ProtocolLocaware}, 100, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := cmp.Set(ProtocolLocaware)
+	if len(set.Phases) != 4 {
+		t.Fatalf("single-trial comparison aggregated %d phases", len(set.Phases))
+	}
+	for i, ph := range set.Phases {
+		got := set.Trials[0].Phases[i]
+		if ph.SuccessRate.Mean != got.SuccessRate || ph.SuccessRate.CI95 != 0 {
+			t.Fatalf("phase %d: single-trial estimate %+v != run value %g", i, ph.SuccessRate, got.SuccessRate)
+		}
+	}
+}
+
+// TestScenarioTraceAnnotations locks the phase-entry trace surface: a
+// traced scenario run emits one "phase" event per phase, inline and in
+// timeline order, with no acting peer.
+func TestScenarioTraceAnnotations(t *testing.T) {
+	o := scenarioOptions()
+	o.Peers = 80
+	o.Scenario = mustScenario(t, "churn-waves")
+	_, events, err := RunTraced(o, ProtocolLocaware, 0, 40, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var phases []TraceEvent
+	for _, e := range events {
+		if e.Kind == "phase" {
+			phases = append(phases, e)
+		}
+	}
+	if len(phases) != 4 {
+		t.Fatalf("traced run emitted %d phase events, want 4", len(phases))
+	}
+	for i, e := range phases {
+		if e.Peer != -1 || e.From != -1 {
+			t.Fatalf("phase event %d carries a peer: %+v", i, e)
+		}
+		if !strings.Contains(e.Detail, "scenario=churn-waves") {
+			t.Fatalf("phase event %d detail = %q", i, e.Detail)
+		}
+		if i > 0 && e.AtSeconds < phases[i-1].AtSeconds {
+			t.Fatalf("phase events out of timeline order: %+v", phases)
+		}
+		if !strings.Contains(e.String(), "phase") {
+			t.Fatalf("phase event renders as %q", e.String())
+		}
+	}
+	for i, name := range []string{"calm", "wave", "recovery", "settled"} {
+		if !strings.Contains(phases[i].Detail, "phase="+name) {
+			t.Fatalf("phase event %d = %q, want %s", i, phases[i].Detail, name)
+		}
+	}
+}
