@@ -411,3 +411,72 @@ func TestHashPairStability(t *testing.T) {
 		t.Fatal("hashPair collision on trivial input")
 	}
 }
+
+// TestHotOpsZeroAlloc locks the stack-allocated hashing path: membership
+// tests and counter updates run on the simulator's per-hop routing path
+// and must not allocate.
+func TestHotOpsZeroAlloc(t *testing.T) {
+	f := New(1200, 6)
+	c := NewCounting(1200, 6)
+	f.Add("locaware")
+	c.Add("locaware")
+	if n := testing.AllocsPerRun(200, func() { f.Test("locaware") }); n != 0 {
+		t.Fatalf("Filter.Test allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { f.Add("locaware") }); n != 0 {
+		t.Fatalf("Filter.Add allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { c.Add("x"); c.Remove("x") }); n != 0 {
+		t.Fatalf("Counting.Add/Remove allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { c.Test("locaware") }); n != 0 {
+		t.Fatalf("Counting.Test allocates %.1f/op", n)
+	}
+}
+
+// TestDiffFiltersInto checks buffer reuse and equivalence with DiffFilters.
+func TestDiffFiltersInto(t *testing.T) {
+	a, b := New(256, 4), New(256, 4)
+	b.Add("alpha")
+	b.Add("beta")
+	want, err := DiffFilters(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]uint32, 0, 64)
+	got, err := DiffFiltersInto(a, b, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Flipped) != len(want.Flipped) {
+		t.Fatalf("Into diff = %v, want %v", got.Flipped, want.Flipped)
+	}
+	for i := range got.Flipped {
+		if got.Flipped[i] != want.Flipped[i] {
+			t.Fatalf("Into diff = %v, want %v", got.Flipped, want.Flipped)
+		}
+	}
+	if &got.Flipped[0] != &buf[:1][0] {
+		t.Fatal("DiffFiltersInto did not reuse the caller's buffer")
+	}
+	if _, err := DiffFiltersInto(a, New(128, 4), buf); err != ErrMismatch {
+		t.Fatalf("geometry mismatch not reported: %v", err)
+	}
+	// Steady-state reuse does not allocate once the buffer has capacity.
+	if n := testing.AllocsPerRun(100, func() {
+		d, _ := DiffFiltersInto(a, b, buf)
+		buf = d.Flipped[:0]
+	}); n != 0 {
+		t.Fatalf("buffered diff allocates %.1f/op", n)
+	}
+}
+
+// TestKCapped locks the maxK bound the stack-array fast path relies on.
+func TestKCapped(t *testing.T) {
+	if f := New(4096, 99); f.K() != 16 {
+		t.Fatalf("Filter k = %d, want capped at 16", f.K())
+	}
+	if c := NewCounting(4096, 99); c.K() != 16 {
+		t.Fatalf("Counting k = %d, want capped at 16", c.K())
+	}
+}

@@ -12,13 +12,17 @@ type Counting struct {
 	counts []uint16
 }
 
-// NewCounting returns an m-position counting filter with k hash functions.
+// NewCounting returns an m-position counting filter with k hash functions;
+// k is clamped to [1, 16] exactly as in New.
 func NewCounting(m, k int) *Counting {
 	if m < 8 {
 		m = 8
 	}
 	if k < 1 {
 		k = 1
+	}
+	if k > maxK {
+		k = maxK
 	}
 	return &Counting{m: uint32(m), k: k, counts: make([]uint16, m)}
 }
@@ -31,7 +35,8 @@ func (c *Counting) K() int { return c.k }
 
 // Add inserts s, incrementing its k counters (saturating).
 func (c *Counting) Add(s string) {
-	idx := make([]uint32, c.k)
+	var buf [maxK]uint32
+	idx := buf[:c.k]
 	indexes(s, c.m, idx)
 	for _, i := range idx {
 		if c.counts[i] < ^uint16(0) {
@@ -44,7 +49,8 @@ func (c *Counting) Add(s string) {
 // added corrupts a counting filter; callers (the response index) guarantee
 // add/remove pairing, and Remove defensively floors counters at zero.
 func (c *Counting) Remove(s string) {
-	idx := make([]uint32, c.k)
+	var buf [maxK]uint32
+	idx := buf[:c.k]
 	indexes(s, c.m, idx)
 	for _, i := range idx {
 		if c.counts[i] > 0 {
@@ -55,7 +61,8 @@ func (c *Counting) Remove(s string) {
 
 // Test reports whether s may be present.
 func (c *Counting) Test(s string) bool {
-	idx := make([]uint32, c.k)
+	var buf [maxK]uint32
+	idx := buf[:c.k]
 	indexes(s, c.m, idx)
 	for _, i := range idx {
 		if c.counts[i] == 0 {

@@ -22,13 +22,18 @@ var ErrMismatch = errors.New("bloom: filter geometry mismatch")
 
 // New returns an m-bit filter with k hash functions. The paper's setting is
 // m=1200 (covering an enlarged response index of 50 filenames × 3 keywords)
-// with k near optimal for 150 elements.
+// with k near optimal for 150 elements. k is clamped to [1, 16]: the upper
+// bound (which OptimalK never exceeds) is what lets every filter operation
+// compute its bit positions on the stack.
 func New(m, k int) *Filter {
 	if m < 8 {
 		m = 8
 	}
 	if k < 1 {
 		k = 1
+	}
+	if k > maxK {
+		k = maxK
 	}
 	return &Filter{m: uint32(m), k: k, bits: make([]uint64, (m+63)/64)}
 }
@@ -45,7 +50,8 @@ func (f *Filter) K() int { return f.k }
 
 // Add inserts s.
 func (f *Filter) Add(s string) {
-	idx := make([]uint32, f.k)
+	var buf [maxK]uint32
+	idx := buf[:f.k]
 	indexes(s, f.m, idx)
 	for _, i := range idx {
 		f.bits[i/64] |= 1 << (i % 64)
@@ -54,7 +60,8 @@ func (f *Filter) Add(s string) {
 
 // Test reports whether s may be in the set. False means definitely absent.
 func (f *Filter) Test(s string) bool {
-	idx := make([]uint32, f.k)
+	var buf [maxK]uint32
+	idx := buf[:f.k]
 	indexes(s, f.m, idx)
 	for _, i := range idx {
 		if f.bits[i/64]&(1<<(i%64)) == 0 {

@@ -7,16 +7,28 @@
 // per update for a 1200-bit filter).
 package bloom
 
-import "hash/fnv"
+// maxK caps the number of hash functions (OptimalK never exceeds 16). The
+// fixed bound lets every filter operation compute its bit positions in a
+// stack array instead of a heap slice — membership tests run on the
+// per-hop routing path, where a slice allocation per Test was the single
+// biggest allocator left after the typed-event refactor.
+const maxK = 16
 
 // hashPair returns two independent 64-bit hashes of s, used for
-// Kirsch–Mitzenmacher double hashing: g_i(x) = h1(x) + i*h2(x). FNV-1a has
-// weak avalanche in its high bits, so both outputs go through a
-// splitmix64-style finaliser to decorrelate them.
+// Kirsch–Mitzenmacher double hashing: g_i(x) = h1(x) + i*h2(x). The FNV-1a
+// loop is inlined (bit-identical to hash/fnv's 64-bit variant) so hashing
+// never allocates a hasher; FNV-1a has weak avalanche in its high bits, so
+// both outputs go through a splitmix64-style finaliser to decorrelate them.
 func hashPair(s string) (uint64, uint64) {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	base := h.Sum64()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	base := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		base ^= uint64(s[i])
+		base *= prime64
+	}
 	h1 := mix64(base)
 	h2 := mix64(base ^ 0x9e3779b97f4a7c15)
 	if h2 == 0 {

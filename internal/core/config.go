@@ -64,6 +64,19 @@ type Config struct {
 	// segments the measured metrics per phase. Entry points resolve the
 	// phase grid with ResolveScenario before building the simulation.
 	Scenario *scenario.Spec
+
+	// Shards, when > 1, runs the simulation on the experimental sharded
+	// event loop: peers partition by locality (locId modulo Shards), each
+	// shard drains its own queue epoch by epoch, and cross-locality
+	// deliveries hop shards through a deterministic mailbox. Runs are
+	// fully reproducible for a fixed shard count, but the cross-shard
+	// delivery interleaving differs from the single-queue order, so
+	// results are statistically equivalent rather than bit-identical to
+	// Shards <= 1 (which always uses the plain engine, byte-for-byte
+	// identical to previous releases). Shared protocol state keeps the
+	// shards draining sequentially today; the partition is the enabler
+	// for parallel drains once per-shard state lands.
+	Shards int
 }
 
 // DefaultConfig returns the paper's evaluation setup (§5.1).

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/p2prepro/locaware/internal/metrics"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// shardFingerprint reduces a run to the values a determinism lock cares
+// about.
+type shardFingerprint struct {
+	Success  float64
+	Messages float64
+	RTT      float64
+	Events   uint64
+	Control  uint64
+	Cache    int
+}
+
+func shardRun(t *testing.T, shards, peers, warmup, measured int) shardFingerprint {
+	t.Helper()
+	cfg := benchConfig(peers, 7)
+	cfg.Shards = shards
+	cfg.Protocol.Collector = metrics.CollectorConfig{}
+	s := NewSimulation(cfg, protocol.Locaware{})
+	res := s.RunMeasured(warmup, measured)
+	if got := res.Collector.Submitted(); got != measured {
+		t.Fatalf("shards=%d submitted %d queries, want %d", shards, got, measured)
+	}
+	return shardFingerprint{
+		Success:  res.Collector.SuccessRate(),
+		Messages: res.Collector.AvgMessagesPerQuery(),
+		RTT:      res.Collector.AvgDownloadRTT(),
+		Events:   res.Events,
+		Control:  res.ControlMessages,
+		Cache:    res.CacheFilenames,
+	}
+}
+
+// TestShardedRunDeterministic locks the sharded protocol path: a fixed
+// shard count reproduces exactly across executions, Shards values <= 1
+// take the plain single-queue path bit-identically, and every shard count
+// completes the full workload. (Cross-shard delivery interleaving differs
+// between shard counts by design — the determinism contract is per
+// layout, and Shards <= 1 is the golden-locked configuration.)
+func TestShardedRunDeterministic(t *testing.T) {
+	const peers, warmup, measured = 400, 100, 250
+	base := shardRun(t, 0, peers, warmup, measured)
+	if one := shardRun(t, 1, peers, warmup, measured); !reflect.DeepEqual(base, one) {
+		t.Fatalf("Shards=1 diverged from unsharded run: %+v vs %+v", one, base)
+	}
+	for _, shards := range []int{2, 4} {
+		a := shardRun(t, shards, peers, warmup, measured)
+		b := shardRun(t, shards, peers, warmup, measured)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Shards=%d not reproducible: %+v vs %+v", shards, a, b)
+		}
+		if a.Success <= 0 || a.Success > 1 {
+			t.Fatalf("Shards=%d implausible success rate %v", shards, a.Success)
+		}
+		if a.Events == 0 || a.Control == 0 {
+			t.Fatalf("Shards=%d produced no traffic: %+v", shards, a)
+		}
+	}
+}
+
+// TestRunNeverOutlivesDeadline locks the stepping-loop contract the
+// batched deadline discovery relies on: even when a periodic control's
+// period exceeds FinalizeAfter + the horizon slack (so a reschedule beyond
+// the eventual deadline is queued before the horizon exists), no event
+// past the deadline is ever delivered — on the plain engine and on the
+// sharded loop alike.
+func TestRunNeverOutlivesDeadline(t *testing.T) {
+	for _, shards := range []int{0, 2} {
+		cfg := benchConfig(200, 3)
+		cfg.Shards = shards
+		// Gossip period far beyond FinalizeAfter + 1 minute: its
+		// self-reschedule can outlive the run deadline.
+		cfg.Protocol.BloomGossipPeriod = cfg.Protocol.FinalizeAfter + 5*sim.Minute
+		s := NewSimulation(cfg, protocol.Locaware{})
+		res := s.RunMeasured(0, 150)
+		if res.Duration > s.runDeadline {
+			t.Fatalf("shards=%d: run clock %v outlived deadline %v", shards, res.Duration, s.runDeadline)
+		}
+	}
+}

@@ -29,6 +29,25 @@ type Simulation struct {
 	gen       *workload.Generator
 	placement *workload.Placement
 	scenario  *scenario.Runtime
+
+	// loop drives the run: the sharded per-locality harness when
+	// Cfg.Shards > 1 (Engine then aliases shard 0, which hosts the
+	// control plane — submission chain, gossip and churn ticks, collector
+	// reset), the bare Engine otherwise.
+	loop runner
+
+	// runDeadline is fixed by the last arrival's submission event; the
+	// run's tail is bounded by it (plus the horizon).
+	runDeadline sim.Time
+}
+
+// runner is the event-loop surface RunMeasured drives, satisfied by both
+// *sim.Engine and *sim.Sharded.
+type runner interface {
+	RunUntil(deadline sim.Time, maxEvents uint64) uint64
+	SetHorizon(t sim.Time)
+	Now() sim.Time
+	Processed() uint64
 }
 
 // NewSimulation assembles a simulation for the behaviour. All randomness
@@ -52,7 +71,19 @@ func NewSimulation(cfg Config, b protocol.Behavior) *Simulation {
 	catalog := workload.NewCatalog(cfg.Catalog, rng.Stream("catalog"))
 	placement := workload.NewPlacement(cfg.NumPeers, cfg.FilesPerPeer, catalog, rng.Stream("placement"))
 
-	eng := sim.NewEngine()
+	var eng *sim.Engine
+	var loop runner
+	if cfg.Shards > 1 {
+		sharded := sim.NewSharded(sim.ShardedOptions{
+			Shards:  cfg.Shards,
+			ShardOf: func(peer int) int { return int(locator.LocID(peer)) },
+		})
+		eng = sharded.Engine(0)
+		loop = sharded
+	} else {
+		eng = sim.NewEngine()
+		loop = eng
+	}
 	net := protocol.NewNetwork(eng, graph, model, locator, b, cfg.Protocol,
 		rng.Stream("gid"), rng.Stream("protocol"))
 
@@ -76,6 +107,7 @@ func NewSimulation(cfg Config, b protocol.Behavior) *Simulation {
 	s := &Simulation{
 		Cfg:       cfg,
 		Engine:    eng,
+		loop:      loop,
 		Graph:     graph,
 		Model:     model,
 		Locator:   locator,
@@ -153,6 +185,8 @@ func (s *Simulation) Run(numQueries int) *RunResult {
 // whole workload — a million-query run no longer materialises a
 // million-entry schedule up front. The generator's RNG is consumed in the
 // same sequential order as the old bulk schedule, so results are unchanged.
+// The chain is one reused typed event (submitEvent), so driving the whole
+// workload allocates nothing per query.
 func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 	total := warmup + measured
 	if total <= 0 {
@@ -166,47 +200,21 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 			panic(fmt.Sprintf("core: scenario timeline: %v", err))
 		}
 	}
-	var deadline sim.Time
-	var schedule func(i int, ev workload.QueryEvent)
-	schedule = func(i int, ev workload.QueryEvent) {
-		if i == warmup && warmup > 0 {
-			// Swap the collector just before the first measured query;
-			// in-flight warmup queries keep finalising into the old one.
-			if at := ev.At - 1; at < s.Engine.Now() {
-				s.Network.ResetCollector()
-			} else if err := s.Engine.PostAt(at, func(*sim.Engine) {
-				s.Network.ResetCollector()
-			}); err != nil {
-				panic(fmt.Sprintf("core: scheduling collector reset: %v", err))
-			}
-		}
-		if err := s.Engine.PostAt(ev.At, func(*sim.Engine) {
-			if s.scenario != nil && i >= warmup {
-				s.scenario.OnSubmit(i - warmup)
-			}
-			s.Network.SubmitQuery(overlay.PeerID(ev.Requester), ev.Q)
-			if i+1 < total {
-				schedule(i+1, s.gen.Next())
-			}
-		}); err != nil {
-			panic(fmt.Sprintf("core: scheduling query: %v", err))
-		}
-		if i == total-1 {
-			// The last arrival fixes the run deadline; the horizon drops
-			// anything scheduled beyond it (periodic controls, long tails).
-			deadline = ev.At + s.Cfg.Protocol.FinalizeAfter + sim.Minute
-			s.Engine.SetHorizon(deadline)
-		}
-	}
-	schedule(0, s.gen.Next())
+	s.runDeadline = 0
+	s.scheduleSubmit(&submitEvent{s: s, warmup: warmup, total: total, ev: s.gen.Next()})
 	// Step until the last arrival has been generated (deadline known), then
-	// run the tail out in one call.
-	for deadline == 0 {
-		if s.Engine.RunUntil(sim.Time(math.MaxInt64), 1) == 0 {
+	// run the tail out in one deadline-bounded call. Stepping is batched
+	// to spare the sharded loop its per-call epoch setup; scheduleSubmit
+	// stops the engine the instant it fixes the deadline, so a batch can
+	// never run on past it and deliver an already-queued event (a periodic
+	// control rescheduled beyond the eventual deadline before the horizon
+	// existed) that the deadline-bounded tail would have excluded.
+	for s.runDeadline == 0 {
+		if s.loop.RunUntil(sim.Time(math.MaxInt64), 256) == 0 {
 			panic("core: engine drained before the workload completed")
 		}
 	}
-	s.Engine.RunUntil(deadline, 0)
+	s.loop.RunUntil(s.runDeadline, 0)
 	s.Network.FlushPending()
 
 	res := &RunResult{
@@ -215,14 +223,78 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 		ControlMessages: s.Network.ControlMessages(),
 		ControlBits:     s.Network.ControlBits(),
 		Forwarding:      s.Network.Forwarding,
-		Duration:        s.Engine.Now(),
-		Events:          s.Engine.Processed(),
+		Duration:        s.loop.Now(),
+		Events:          s.loop.Processed(),
 	}
 	for _, n := range s.Network.Nodes() {
 		res.CacheFilenames += n.RI.Len()
 		res.CacheProviderEntries += n.RI.TotalProviderEntries()
 	}
 	return res
+}
+
+// submitEvent drives the streamed arrival chain: one instance per run,
+// re-posted for each successive query. It is undestined — submissions are
+// the control plane's job — while everything it triggers (forward branches,
+// finalisation) routes by destination peer.
+type submitEvent struct {
+	s      *Simulation
+	i      int
+	warmup int
+	total  int
+	ev     workload.QueryEvent
+}
+
+func (se *submitEvent) EventName() string { return "query-submit" }
+
+func (se *submitEvent) Fire(*sim.Engine) {
+	s := se.s
+	if s.scenario != nil && se.i >= se.warmup {
+		s.scenario.OnSubmit(se.i - se.warmup)
+	}
+	s.Network.SubmitQuery(overlay.PeerID(se.ev.Requester), se.ev.Q)
+	if se.i+1 < se.total {
+		se.i++
+		se.ev = s.gen.Next()
+		s.scheduleSubmit(se)
+	}
+}
+
+// collectorResetEvent swaps in the measured-phase collector just before
+// the first measured query (see scheduleSubmit).
+type collectorResetEvent struct{ s *Simulation }
+
+func (ev *collectorResetEvent) EventName() string { return "collector-reset" }
+
+func (ev *collectorResetEvent) Fire(*sim.Engine) { ev.s.Network.ResetCollector() }
+
+// scheduleSubmit posts the submission event for its current arrival, the
+// collector swap ahead of the first measured query, and — at the last
+// arrival — the run deadline and horizon.
+func (s *Simulation) scheduleSubmit(se *submitEvent) {
+	if se.i == se.warmup && se.warmup > 0 {
+		// Swap the collector just before the first measured query;
+		// in-flight warmup queries keep finalising into the old one.
+		if at := se.ev.At - 1; at < s.Engine.Now() {
+			s.Network.ResetCollector()
+		} else if err := s.Engine.PostEventAt(at, &collectorResetEvent{s: s}); err != nil {
+			panic(fmt.Sprintf("core: scheduling collector reset: %v", err))
+		}
+	}
+	if err := s.Engine.PostEventAt(se.ev.At, se); err != nil {
+		panic(fmt.Sprintf("core: scheduling query: %v", err))
+	}
+	if se.i == se.total-1 {
+		// The last arrival fixes the run deadline; the horizon drops
+		// anything scheduled beyond it (periodic controls, long tails).
+		// Stop ends the current stepping batch right here, so everything
+		// after this instant runs under the deadline bound (under the
+		// sharded loop the stop lands at the epoch boundary, whose events
+		// all carry the current — pre-deadline — timestamp).
+		s.runDeadline = se.ev.At + s.Cfg.Protocol.FinalizeAfter + sim.Minute
+		s.loop.SetHorizon(s.runDeadline)
+		s.Engine.Stop()
+	}
 }
 
 // String identifies the simulation.

@@ -6,6 +6,20 @@
 // scheduling: results are written into a slot per index, never appended, so
 // the output order is the input order no matter which worker finishes
 // first.
+//
+// # The Stream dispatch-window contract
+//
+// Stream delivers results in strict index order for any worker count and
+// any completion order — including the pathological one where the last
+// dispatched job finishes first. Its memory bound comes from a dispatch
+// window of 2×workers outstanding jobs: a job is dispatched only while
+// fewer than 2×workers jobs are dispatched-but-unconsumed, and a slot is
+// released only when a result is delivered. Because dispatch is in index
+// order, the lowest undelivered index is always among the dispatched jobs,
+// so the pipeline cannot deadlock, and at most 2×workers results exist at
+// once (in flight plus parked in the reorder buffer). Workloads whose jobs
+// block on one another are outside the contract unless every dependency
+// chain fits inside one window (see TestStreamLastJobFinishesFirst).
 package exper
 
 import (

@@ -2,6 +2,7 @@ package exper
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -155,5 +156,47 @@ func TestStreamSlowHead(t *testing.T) {
 	})
 	if next != 100 {
 		t.Fatalf("consumed %d of 100", next)
+	}
+}
+
+// TestStreamLastJobFinishesFirst forces the completion order to be the
+// exact reverse of the index order — the last job finishes first, the
+// first job finishes last — and asserts delivery is still strictly
+// index-ordered: the reorder buffer parks every early finisher until its
+// index is next.
+func TestStreamLastJobFinishesFirst(t *testing.T) {
+	const n = 8
+	// finished[i] closes when job i completes; job i waits for job i+1, so
+	// completion order is n-1, n-2, ..., 0. All n jobs fit inside the
+	// 2×workers dispatch window, so every job is running concurrently and
+	// the chain cannot deadlock.
+	finished := make([]chan struct{}, n+1)
+	for i := range finished {
+		finished[i] = make(chan struct{})
+	}
+	close(finished[n])
+	var completionOrder []int32
+	var mu sync.Mutex
+	next := 0
+	Stream(n, n, func(i int) int {
+		<-finished[i+1]
+		mu.Lock()
+		completionOrder = append(completionOrder, int32(i))
+		mu.Unlock()
+		close(finished[i])
+		return i * 7
+	}, func(i, v int) {
+		if i != next || v != i*7 {
+			t.Fatalf("delivery %d carried (%d, %d)", next, i, v)
+		}
+		next++
+	})
+	if next != n {
+		t.Fatalf("consumed %d of %d", next, n)
+	}
+	for k, idx := range completionOrder {
+		if int(idx) != n-1-k {
+			t.Fatalf("completion order %v; the test meant to reverse it", completionOrder)
+		}
 	}
 }

@@ -1,0 +1,166 @@
+package protocol
+
+import (
+	"github.com/p2prepro/locaware/internal/bloom"
+	"github.com/p2prepro/locaware/internal/overlay"
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// This file defines the network's typed simulator events. Every hot-path
+// action that used to schedule a closure — query forwards, response hops,
+// query finalisation, Bloom gossip installs, the gossip round timer — is a
+// pooled concrete type here, so steady-state scheduling allocates nothing
+// and every message-carrying event names its destination peer
+// (sim.Destined), which is what the sharded runner routes on.
+//
+// Pooling protocol: the network acquires an event, fills it, posts it; the
+// event releases itself back to the pool at the end of Fire. An event
+// dropped by the engine's horizon is never fired and is reclaimed by the
+// GC, exactly like a dropped message buffer.
+
+// queryDeliverEvent delivers a forwarded query branch to dst.
+type queryDeliverEvent struct {
+	net *Network
+	dst overlay.PeerID
+	msg *QueryMsg
+}
+
+func (ev *queryDeliverEvent) EventDst() int     { return int(ev.dst) }
+func (ev *queryDeliverEvent) EventName() string { return "query-deliver" }
+
+func (ev *queryDeliverEvent) Fire(e *sim.Engine) {
+	net := ev.net
+	net.receiveQuery(e, ev.dst, ev.msg)
+	net.releaseMsg(ev.msg)
+	ev.msg = nil
+	net.qdFree = append(net.qdFree, ev)
+}
+
+func (net *Network) acquireQueryDeliver(dst overlay.PeerID, msg *QueryMsg) *queryDeliverEvent {
+	if n := len(net.qdFree); n > 0 {
+		ev := net.qdFree[n-1]
+		net.qdFree = net.qdFree[:n-1]
+		ev.dst, ev.msg = dst, msg
+		return ev
+	}
+	return &queryDeliverEvent{net: net, dst: dst, msg: msg}
+}
+
+// responseDeliverEvent advances a response one hop to dst on the reverse
+// path. Ownership of the ResponseMsg stays with the delivery chain:
+// deliverResponse either completes and releases it or re-posts the next
+// hop.
+type responseDeliverEvent struct {
+	net *Network
+	dst overlay.PeerID
+	rsp *ResponseMsg
+}
+
+func (ev *responseDeliverEvent) EventDst() int     { return int(ev.dst) }
+func (ev *responseDeliverEvent) EventName() string { return "response-deliver" }
+
+func (ev *responseDeliverEvent) Fire(e *sim.Engine) {
+	net := ev.net
+	net.deliverResponse(e, ev.dst, ev.rsp)
+	ev.rsp = nil
+	net.rdFree = append(net.rdFree, ev)
+}
+
+func (net *Network) acquireResponseDeliver(dst overlay.PeerID, rsp *ResponseMsg) *responseDeliverEvent {
+	if n := len(net.rdFree); n > 0 {
+		ev := net.rdFree[n-1]
+		net.rdFree = net.rdFree[:n-1]
+		ev.dst, ev.rsp = dst, rsp
+		return ev
+	}
+	return &responseDeliverEvent{net: net, dst: dst, rsp: rsp}
+}
+
+// finalizeEvent seals query id's record FinalizeAfter after submission. It
+// is destined to the query's origin: under the sharded runner the seal
+// fires on the shard that owns the requester.
+type finalizeEvent struct {
+	net *Network
+	id  QueryID
+	dst overlay.PeerID
+}
+
+func (ev *finalizeEvent) EventDst() int     { return int(ev.dst) }
+func (ev *finalizeEvent) EventName() string { return "query-finalize" }
+
+func (ev *finalizeEvent) Fire(*sim.Engine) {
+	net := ev.net
+	net.finalize(ev.id)
+	net.finFree = append(net.finFree, ev)
+}
+
+func (net *Network) acquireFinalize(id QueryID, dst overlay.PeerID) *finalizeEvent {
+	if n := len(net.finFree); n > 0 {
+		ev := net.finFree[n-1]
+		net.finFree = net.finFree[:n-1]
+		ev.id, ev.dst = id, dst
+		return ev
+	}
+	return &finalizeEvent{net: net, id: id, dst: dst}
+}
+
+// bloomInstallEvent delivers one Bloom gossip announcement: dst installs
+// (copies) from's announced filter after link latency. The carried filter
+// is one of from's two alternating announce buffers, frozen until from's
+// next-but-one gossip round — the install copies rather than retains it.
+// gen is the buffer generation at announce time: if the buffer has been
+// reused before the event lands (a gossip period shorter than twice the
+// link delay — a misconfiguration, but a reachable one under extreme
+// degrade-region scenarios), the install falls back to a copy of the
+// sender's current published filter and is counted. The fallback keeps
+// gossip convergent — the neighbour receives a valid (fresher) snapshot
+// instead of silently keeping round-r's content forever when later deltas
+// are empty — without ever installing torn buffer contents.
+type bloomInstallEvent struct {
+	net  *Network
+	dst  overlay.PeerID
+	from overlay.PeerID
+	snap *bloom.Filter
+	gen  uint64
+}
+
+func (ev *bloomInstallEvent) EventDst() int     { return int(ev.dst) }
+func (ev *bloomInstallEvent) EventName() string { return "bloom-install" }
+
+func (ev *bloomInstallEvent) Fire(*sim.Engine) {
+	net := ev.net
+	snap := ev.snap
+	if net.nodes[ev.from].announceGenOf(snap) != ev.gen {
+		net.staleBloomFallbacks++
+		snap = net.nodes[ev.from].PublishedBloom()
+	}
+	net.nodes[ev.dst].setNeighborBloom(ev.from, snap)
+	ev.snap = nil
+	net.biFree = append(net.biFree, ev)
+}
+
+func (net *Network) acquireBloomInstall(dst, from overlay.PeerID, snap *bloom.Filter, gen uint64) *bloomInstallEvent {
+	if n := len(net.biFree); n > 0 {
+		ev := net.biFree[n-1]
+		net.biFree = net.biFree[:n-1]
+		ev.dst, ev.from, ev.snap, ev.gen = dst, from, snap, gen
+		return ev
+	}
+	return &bloomInstallEvent{net: net, dst: dst, from: from, snap: snap, gen: gen}
+}
+
+// gossipRoundEvent is the periodic gossip control: one instance per
+// network, rescheduling itself after each round — the typed, allocation-
+// free analogue of Engine.Every. It is undestined on purpose: the gossip
+// scan walks every node, so it belongs to the control shard.
+type gossipRoundEvent struct {
+	net    *Network
+	period sim.Time
+}
+
+func (ev *gossipRoundEvent) EventName() string { return "gossip-round" }
+
+func (ev *gossipRoundEvent) Fire(e *sim.Engine) {
+	ev.net.gossipBlooms(e)
+	e.PostEvent(ev.period, ev)
+}

@@ -22,6 +22,8 @@ type Config struct {
 	// Cache bounds each peer's response index.
 	Cache cache.Config
 	// BloomBits / BloomK size the keyword Bloom filter; paper: 1200 bits.
+	// BloomK values above 16 are clamped (the filter computes its bit
+	// positions in a fixed-size stack array; OptimalK never exceeds 16).
 	BloomBits, BloomK int
 	// BloomGossipPeriod is how often peers push BF updates to neighbours.
 	BloomGossipPeriod sim.Time
@@ -146,6 +148,13 @@ type Network struct {
 	msgFree  []*QueryMsg
 	respFree []*ResponseMsg
 
+	// Typed-event pools (see events.go): recycled delivery/finalize/gossip
+	// events keep steady-state scheduling allocation-free.
+	qdFree  []*queryDeliverEvent
+	rdFree  []*responseDeliverEvent
+	finFree []*finalizeEvent
+	biFree  []*bloomInstallEvent
+
 	// Reusable scratch buffers for the per-event selection loops. Each is
 	// filled and fully consumed within one event delivery, so a single
 	// instance per network suffices on the single-threaded engine.
@@ -169,6 +178,11 @@ type Network struct {
 	// search traffic, as the paper does.
 	controlMessages uint64
 	controlBits     uint64
+	// staleBloomFallbacks counts gossip installs whose announce buffer was
+	// reused before delivery, which fell back to the sender's current
+	// published snapshot — zero under any sane configuration (gossip
+	// period > 2× link delay).
+	staleBloomFallbacks uint64
 }
 
 // NewNetwork assembles a network. gidRng draws each node's random Gid;
@@ -217,10 +231,8 @@ func NewNetwork(eng *sim.Engine, g *overlay.Graph, m *netmodel.Model, loc *netmo
 		net.nodes[i] = n
 	}
 	if b.UsesBloom() && cfg.BloomGossipPeriod > 0 {
-		eng.Every(cfg.BloomGossipPeriod, func(*sim.Engine) bool {
-			net.gossipBlooms()
-			return true
-		})
+		eng.PostEvent(cfg.BloomGossipPeriod,
+			&gossipRoundEvent{net: net, period: cfg.BloomGossipPeriod})
 	}
 	return net
 }
@@ -256,6 +268,11 @@ func (net *Network) ControlMessages() uint64 { return net.controlMessages }
 
 // ControlBits returns the total gossiped delta payload in bits.
 func (net *Network) ControlBits() uint64 { return net.controlBits }
+
+// StaleBloomFallbacks returns how many gossip installs outlived their
+// announce buffer and fell back to the sender's current published
+// snapshot (see bloomInstallEvent).
+func (net *Network) StaleBloomFallbacks() uint64 { return net.staleBloomFallbacks }
 
 // targetBuf returns the shared empty buffer Behavior.Forward
 // implementations accumulate their target list into. The buffer is valid
@@ -305,7 +322,7 @@ func (net *Network) releaseMsg(m *QueryMsg) {
 // possibly stale copies). Traffic is charged per neighbour at the delta's
 // encoded size (footnote 1) even though the delivered payload installs the
 // full snapshot — the delta is what the wire would carry.
-func (net *Network) gossipBlooms() {
+func (net *Network) gossipBlooms(eng *sim.Engine) {
 	for _, n := range net.nodes {
 		if !net.Graph.Online(n.ID) {
 			continue
@@ -314,21 +331,26 @@ func (net *Network) gossipBlooms() {
 		if err != nil || d.Empty() {
 			continue
 		}
-		snapshot := n.published.Clone()
+		// The announced snapshot is a frozen per-node double buffer:
+		// installs copy it on arrival (setNeighborBloom), and the buffer
+		// next mutates two gossip periods from now — a wide margin over
+		// any link latency — so the round is allocation-free with exact
+		// announce-time semantics.
+		snapshot, snapGen := n.announceSnapshot()
 		from := n.ID
+		sizeBits := d.SizeBits()
 		for _, nb := range net.Graph.Neighbors(n.ID) {
 			if !net.Graph.Online(nb) {
 				continue
 			}
 			net.controlMessages++
-			net.controlBits += uint64(d.SizeBits())
-			net.emit(trace.BloomGossip, 0, nb, from, func() string {
-				return fmt.Sprintf("delta=%dbits", d.SizeBits())
-			})
-			nb := nb
-			net.send(from, nb, func(*sim.Engine) {
-				net.nodes[nb].setNeighborBloom(from, snapshot)
-			})
+			net.controlBits += uint64(sizeBits)
+			if net.Tracer != nil {
+				net.emit(trace.BloomGossip, 0, nb, from, func() string {
+					return fmt.Sprintf("delta=%dbits", sizeBits)
+				})
+			}
+			net.send(eng, from, nb, net.acquireBloomInstall(nb, from, snapshot, snapGen))
 		}
 	}
 }
@@ -341,9 +363,7 @@ func (net *Network) SubmitQuery(origin overlay.PeerID, q keywords.Query) QueryID
 	pq := net.acquirePending(origin)
 	net.pending[id] = pq
 
-	net.Engine.Post(net.Config.FinalizeAfter, func(*sim.Engine) {
-		net.finalize(id)
-	})
+	net.Engine.PostEvent(net.Config.FinalizeAfter, net.acquireFinalize(id, origin))
 	net.emit(trace.QuerySubmit, id, origin, -1, q.String)
 	if !net.Graph.Online(origin) {
 		return id
@@ -382,7 +402,7 @@ func (net *Network) SubmitQuery(origin overlay.PeerID, q keywords.Query) QueryID
 	msg.OriginLoc = n.Loc
 	msg.TTL = net.Config.TTL
 	msg.Path = append(msg.Path[:0], origin)
-	net.forward(n, msg, origin)
+	net.forward(net.Engine, n, msg, origin)
 	net.releaseMsg(msg)
 	return id
 }
@@ -395,7 +415,8 @@ func (net *Network) markSeen(n *Node, id QueryID, pq *pendingQuery) {
 }
 
 // forward runs the behaviour's neighbour selection and ships the query.
-func (net *Network) forward(n *Node, q *QueryMsg, from overlay.PeerID) {
+// eng is the engine the triggering event fired on.
+func (net *Network) forward(eng *sim.Engine, n *Node, q *QueryMsg, from overlay.PeerID) {
 	if q.TTL <= 0 {
 		return
 	}
@@ -413,21 +434,21 @@ func (net *Network) forward(n *Node, q *QueryMsg, from overlay.PeerID) {
 		branch.OriginLoc = q.OriginLoc
 		branch.TTL = q.TTL - 1
 		branch.Path = append(append(branch.Path[:0], q.Path...), t)
-		t := t
-		net.send(n.ID, t, func(*sim.Engine) {
-			net.receiveQuery(t, branch)
-			net.releaseMsg(branch)
-		})
+		net.send(eng, n.ID, t, net.acquireQueryDeliver(t, branch))
 		net.countMessage(q.ID)
 		net.emit(trace.QueryForward, q.ID, t, n.ID, nil)
 	}
 }
 
-// send schedules delivery of a message over link a->b with the physical
-// one-way latency plus processing delay.
-func (net *Network) send(a, b overlay.PeerID, h sim.Handler) {
+// send schedules delivery of a typed message event over link a->b with the
+// physical one-way latency plus processing delay. It posts on eng — the
+// engine the current event fired on — so that under the sharded runner an
+// intra-shard hop stays in its own queue and only genuinely cross-locality
+// deliveries pay the mailbox (on the single-queue engine, eng is always
+// net.Engine).
+func (net *Network) send(eng *sim.Engine, a, b overlay.PeerID, ev sim.Event) {
 	delay := sim.FromMillis(net.Model.OneWay(int(a), int(b))) + net.Config.ProcessingDelay
-	net.Engine.Post(delay, h)
+	eng.PostEvent(delay, ev)
 }
 
 // countMessage attributes one overlay message to query id.
@@ -441,7 +462,7 @@ func (net *Network) countMessage(id QueryID) {
 // ownership of q (it is released to the pool after this returns), so any
 // state that outlives the call — notably response reverse paths — is
 // copied, never aliased.
-func (net *Network) receiveQuery(p overlay.PeerID, q *QueryMsg) {
+func (net *Network) receiveQuery(eng *sim.Engine, p overlay.PeerID, q *QueryMsg) {
 	if !net.Graph.Online(p) {
 		return
 	}
@@ -476,7 +497,7 @@ func (net *Network) receiveQuery(p overlay.PeerID, q *QueryMsg) {
 		rsp.HitHops = len(q.Path) - 1
 		rsp.FromStorage = true
 		net.Behavior.OnAnswer(net, n, q, f)
-		net.sendResponse(p, rsp)
+		net.sendResponse(eng, p, rsp)
 		return
 	}
 	// Response-index hit?
@@ -494,10 +515,10 @@ func (net *Network) receiveQuery(p overlay.PeerID, q *QueryMsg) {
 		rsp.HitHops = len(q.Path) - 1
 		rsp.FromStorage = false
 		net.Behavior.OnAnswer(net, n, q, m.File)
-		net.sendResponse(p, rsp)
+		net.sendResponse(eng, p, rsp)
 		return
 	}
-	net.forward(n, q, q.Path[len(q.Path)-2])
+	net.forward(eng, n, q, q.Path[len(q.Path)-2])
 }
 
 // acquireResponse takes a ResponseMsg from the pool; it is released when
@@ -562,25 +583,23 @@ func (net *Network) orderProvidersForOrigin(dst []cache.Provider, ps []cache.Pro
 // letting each traversed node apply the protocol's caching rule, and
 // completes the query at the origin. The response is mutated in place as it
 // walks: exactly one scheduled event owns it at any instant.
-func (net *Network) sendResponse(from overlay.PeerID, rsp *ResponseMsg) {
+func (net *Network) sendResponse(eng *sim.Engine, from overlay.PeerID, rsp *ResponseMsg) {
 	if len(rsp.Path) == 0 {
 		// The answering node is the origin's neighbourless case; deliver
 		// locally (should not happen: origin handles local hits).
-		net.deliverResponse(rsp.Origin, rsp)
+		net.deliverResponse(eng, rsp.Origin, rsp)
 		return
 	}
 	next := rsp.Path[len(rsp.Path)-1]
 	rsp.Path = rsp.Path[:len(rsp.Path)-1]
 	net.countMessage(rsp.ID)
 	net.emit(trace.ResponseHop, rsp.ID, next, from, nil)
-	net.send(from, next, func(*sim.Engine) {
-		net.deliverResponse(next, rsp)
-	})
+	net.send(eng, from, next, net.acquireResponseDeliver(next, rsp))
 }
 
 // deliverResponse processes the response at peer p: caching, then either
 // completion (p is the origin) or the next reverse hop.
-func (net *Network) deliverResponse(p overlay.PeerID, rsp *ResponseMsg) {
+func (net *Network) deliverResponse(eng *sim.Engine, p overlay.PeerID, rsp *ResponseMsg) {
 	if !net.Graph.Online(p) {
 		net.releaseResponse(rsp)
 		return // reverse path broken by churn; response is lost
@@ -596,7 +615,7 @@ func (net *Network) deliverResponse(p overlay.PeerID, rsp *ResponseMsg) {
 		net.releaseResponse(rsp)
 		return
 	}
-	net.sendResponse(p, rsp)
+	net.sendResponse(eng, p, rsp)
 }
 
 // completeQuery runs requester-side provider selection and download

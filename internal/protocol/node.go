@@ -26,6 +26,24 @@ type Node struct {
 	// neighbours. Only maintained when the behaviour uses Bloom routing.
 	cbf       *bloom.Counting
 	published *bloom.Filter
+	// snapScratch and deltaBuf are reusable gossip-round scratch: the
+	// freshly exported bit vector and the changed-position buffer of the
+	// announcement delta. Persisting them makes PublishBloom allocation-
+	// free in steady state (the remaining per-round allocator after the
+	// PR 2 hot-path refactor).
+	snapScratch *bloom.Filter
+	deltaBuf    []uint32
+	// announceBufs double-buffer the snapshot handed to in-flight install
+	// events: round r announces one buffer while round r-1's buffer stays
+	// frozen, so installs remain correct as long as deliveries land within
+	// two gossip periods — a wide margin over the documented
+	// period-exceeds-link-latency assumption, without cloning per round.
+	// announceGens stamp each buffer's content generation; an install that
+	// outlives its generation is dropped rather than applied (see
+	// bloomInstallEvent).
+	announceBufs [2]*bloom.Filter
+	announceGens [2]uint64
+	announceFlip int
 	// neighborBF holds this node's copies of its neighbours' announced
 	// filters (§4.2: "peer n stores its direct neighbors' Gid and BF"),
 	// updated by gossip messages after link latency — so routing decisions
@@ -77,6 +95,7 @@ func initNode(n *Node, id overlay.PeerID, gid int, loc netmodel.LocID, cacheCfg 
 	if useBloom {
 		n.cbf = bloom.NewCounting(bloomBits, bloomK)
 		n.published = bloom.New(bloomBits, bloomK)
+		n.snapScratch = bloom.New(bloomBits, bloomK)
 		n.neighborBF = make(map[overlay.PeerID]*bloom.Filter)
 	}
 }
@@ -91,10 +110,20 @@ func (n *Node) NeighborBloom(nb overlay.PeerID) *bloom.Filter {
 	return n.neighborBF[nb]
 }
 
-// setNeighborBloom installs a received filter copy.
+// setNeighborBloom installs a received announcement by copying it into
+// this node's own per-neighbour filter (allocated once per link, reused
+// for every later update). Copy-on-install means the sender's announced
+// buffer is never retained across rounds, so gossip reuses one buffer per
+// peer instead of cloning a snapshot per round — and a neighbour's view
+// only ever changes when a gossip message actually arrives, exactly the
+// stale-copy semantics of §4.2.
 func (n *Node) setNeighborBloom(nb overlay.PeerID, f *bloom.Filter) {
-	if n.neighborBF != nil {
-		n.neighborBF[nb] = f
+	if n.neighborBF == nil {
+		return
+	}
+	dst := n.neighborBF[nb]
+	if dst == nil || dst.CopyFrom(f) != nil {
+		n.neighborBF[nb] = f.Clone()
 	}
 }
 
@@ -144,17 +173,22 @@ func (n *Node) storageMatch(q keywords.Query) (keywords.Filename, bool) {
 
 // PublishBloom refreshes the node's published Bloom snapshot from its
 // counting filter and returns the delta against the previous snapshot
-// (what the node would gossip to neighbours, footnote 1).
+// (what the node would gossip to neighbours, footnote 1). The returned
+// delta aliases the node's scratch buffer and is valid until the next
+// call; in steady state the whole refresh allocates nothing.
 func (n *Node) PublishBloom() (bloom.Delta, error) {
 	if n.cbf == nil {
 		return bloom.Delta{}, nil
 	}
-	fresh := n.cbf.Snapshot()
-	d, err := bloom.DiffFilters(n.published, fresh)
+	if err := n.cbf.Export(n.snapScratch); err != nil {
+		return bloom.Delta{}, err
+	}
+	d, err := bloom.DiffFiltersInto(n.published, n.snapScratch, n.deltaBuf)
 	if err != nil {
 		return bloom.Delta{}, err
 	}
-	if err := n.published.CopyFrom(fresh); err != nil {
+	n.deltaBuf = d.Flipped[:0]
+	if err := n.published.CopyFrom(n.snapScratch); err != nil {
 		return bloom.Delta{}, err
 	}
 	return d, nil
@@ -163,6 +197,39 @@ func (n *Node) PublishBloom() (bloom.Delta, error) {
 // PublishedBloom returns the snapshot neighbours read, or nil when Bloom
 // routing is disabled.
 func (n *Node) PublishedBloom() *bloom.Filter { return n.published }
+
+// announceSnapshot returns a frozen copy of the published filter to carry
+// in this round's install events, plus its content generation. The two
+// per-node buffers alternate between rounds (allocated lazily, reused
+// forever), so a round's announcement stays intact while the next round's
+// is being built and the gossip plane still allocates nothing in steady
+// state.
+func (n *Node) announceSnapshot() (*bloom.Filter, uint64) {
+	i := n.announceFlip
+	buf := n.announceBufs[i]
+	if buf == nil {
+		buf = bloom.New(n.published.M(), n.published.K())
+		n.announceBufs[i] = buf
+	}
+	n.announceFlip = i ^ 1
+	n.announceGens[i]++
+	// Geometry matches by construction.
+	_ = buf.CopyFrom(n.published)
+	return buf, n.announceGens[i]
+}
+
+// announceGenOf returns the current content generation of one of this
+// node's announce buffers (0 for an unknown filter).
+func (n *Node) announceGenOf(f *bloom.Filter) uint64 {
+	switch f {
+	case n.announceBufs[0]:
+		return n.announceGens[0]
+	case n.announceBufs[1]:
+		return n.announceGens[1]
+	default:
+		return 0
+	}
+}
 
 // gidOfName maps a canonical filename string to its group id:
 // hash(f) mod M (Eq. 1). The FNV-1a hash is inlined (bit-identical to

@@ -746,3 +746,44 @@ func TestConfigFallbacks(t *testing.T) {
 		t.Fatalf("fallbacks not applied: %+v", net.Config)
 	}
 }
+
+// TestStaleBloomInstallFallsBack locks the announce-buffer generation
+// guard: an install event that outlives two gossip rounds (its buffer was
+// reused in flight) never applies the torn buffer — it installs a copy of
+// the sender's current published filter instead and is counted, so the
+// neighbour's view stays a valid snapshot and gossip stays convergent.
+func TestStaleBloomInstallFallsBack(t *testing.T) {
+	net := testNet(t, Locaware{}, linePoints(2), lineEdges(2), Config{BloomGossipPeriod: 0})
+	n := net.Node(0)
+	n.cbf.Add("alpha")
+	if _, err := n.PublishBloom(); err != nil {
+		t.Fatal(err)
+	}
+	snap, gen := n.announceSnapshot()
+	ev := net.acquireBloomInstall(1, 0, snap, gen)
+	// Two more rounds reuse both buffers before the event fires; the
+	// second also publishes newer content ("beta").
+	n.announceSnapshot()
+	n.cbf.Add("beta")
+	if _, err := n.PublishBloom(); err != nil {
+		t.Fatal(err)
+	}
+	n.announceSnapshot()
+	ev.Fire(net.Engine)
+	if got := net.StaleBloomFallbacks(); got != 1 {
+		t.Fatalf("StaleBloomFallbacks = %d, want 1", got)
+	}
+	got := net.Node(1).NeighborBloom(0)
+	if got == nil {
+		t.Fatal("stale install dropped entirely; want fallback to published")
+	}
+	if !got.Equal(n.PublishedBloom()) {
+		t.Fatal("fallback install does not match the sender's published filter")
+	}
+	// A fresh install still lands without the fallback counter moving.
+	snap, gen = n.announceSnapshot()
+	net.acquireBloomInstall(1, 0, snap, gen).Fire(net.Engine)
+	if net.StaleBloomFallbacks() != 1 {
+		t.Fatal("fresh install miscounted as stale")
+	}
+}

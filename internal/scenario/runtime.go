@@ -79,19 +79,38 @@ func Attach(spec *Spec, w World, churnRng, eventRng *rand.Rand) (*Runtime, error
 		originalZipfS:   w.Gen.ZipfS(),
 	}
 	if spec.HasChurn() {
-		// The control is always scheduled (fixed event cadence) and the
-		// per-phase config decides whether a tick consumes churn
-		// randomness — so phases that pause churn cannot shift the event
-		// sequence numbers of phases that resume it.
-		w.Engine.Every(spec.ChurnInterval(), func(*sim.Engine) bool {
-			if rt.activeChurn != nil {
-				overlay.ChurnStep(rt.w.Graph, *rt.activeChurn, rt.churnRng)
-			}
-			return true
-		})
+		// The tick is always scheduled (fixed event cadence) and the
+		// per-phase config decides whether it consumes churn randomness —
+		// so phases that pause churn cannot shift the event sequence
+		// numbers of phases that resume it. One typed event reschedules
+		// itself for the whole run: the same timing and sequence-number
+		// consumption as the closure control it replaces, without the
+		// per-run closure.
+		w.Engine.PostEvent(spec.ChurnInterval(),
+			&churnTickEvent{rt: rt, period: spec.ChurnInterval()})
 	}
 	rt.enterPhase(0)
 	return rt, nil
+}
+
+// churnTickEvent is the periodic churn process as a typed simulator event:
+// it applies one churn step when the active phase enables churn, then
+// reschedules itself — the allocation-free analogue of the Engine.Every
+// closure it replaced. It is undestined: churn rewires the whole overlay,
+// so the tick belongs to the control shard.
+type churnTickEvent struct {
+	rt     *Runtime
+	period sim.Time
+}
+
+func (ev *churnTickEvent) EventName() string { return "churn-tick" }
+
+func (ev *churnTickEvent) Fire(e *sim.Engine) {
+	rt := ev.rt
+	if rt.activeChurn != nil {
+		overlay.ChurnStep(rt.w.Graph, *rt.activeChurn, rt.churnRng)
+	}
+	e.PostEvent(ev.period, ev)
 }
 
 // Spec returns the scenario being executed.

@@ -24,23 +24,33 @@ type Engine struct {
 	// schedules without allocating; recycled events bump their generation,
 	// invalidating stale Timer handles.
 	free []*event
+	// route, when non-nil, may claim a typed fire-and-forget event instead
+	// of queueing it locally. The sharded runner installs it to divert
+	// events destined to another shard into that shard's mailbox.
+	route func(at Time, ev Event) bool
+	// observer, when non-nil, sees every delivered typed event just before
+	// it fires. Installed by tests and debugging harnesses (the sharded
+	// determinism test records global delivery order through it); nil costs
+	// one branch per delivery.
+	observer func(at Time, ev Event)
 }
 
 // alloc takes an event from the free list or the heap.
-func (e *Engine) alloc(at Time, h Handler) *event {
+func (e *Engine) alloc(at Time, h Handler, t Event) *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.handler, ev.dead = at, e.seq, h, false
+		ev.at, ev.seq, ev.handler, ev.typed, ev.dead = at, e.seq, h, t, false
 		return ev
 	}
-	return &event{at: at, seq: e.seq, handler: h}
+	return &event{at: at, seq: e.seq, handler: h, typed: t}
 }
 
 // recycle returns a popped event to the free list, invalidating handles.
 func (e *Engine) recycle(ev *event) {
 	ev.handler = nil
+	ev.typed = nil
 	ev.dead = true
 	ev.gen++
 	e.free = append(e.free, ev)
@@ -85,6 +95,27 @@ func (e *Engine) Schedule(delay Time, h Handler) (*Timer, error) {
 
 // ScheduleAt queues h to run at absolute virtual time at.
 func (e *Engine) ScheduleAt(at Time, h Handler) (*Timer, error) {
+	return e.scheduleAt(at, h, nil)
+}
+
+// ScheduleEventAt queues a typed event to fire at absolute virtual time at,
+// returning a cancellation handle. Timers are engine-local: the sharded
+// router never diverts a cancellable event, so schedule timers on the shard
+// that owns their state.
+func (e *Engine) ScheduleEventAt(at Time, ev Event) (*Timer, error) {
+	return e.scheduleAt(at, nil, ev)
+}
+
+// ScheduleEvent queues a typed event to fire after delay, with a
+// cancellation handle.
+func (e *Engine) ScheduleEvent(delay Time, ev Event) (*Timer, error) {
+	if delay < 0 {
+		return nil, ErrPast
+	}
+	return e.scheduleAt(e.now+delay, nil, ev)
+}
+
+func (e *Engine) scheduleAt(at Time, h Handler, t Event) (*Timer, error) {
 	if at < e.now {
 		return nil, ErrPast
 	}
@@ -93,7 +124,7 @@ func (e *Engine) ScheduleAt(at Time, h Handler) (*Timer, error) {
 		// callers near the end of a run need no special casing.
 		return deadTimer, nil
 	}
-	ev := e.alloc(at, h)
+	ev := e.alloc(at, h, t)
 	e.seq++
 	e.scheduled++
 	e.queue.push(ev)
@@ -101,8 +132,8 @@ func (e *Engine) ScheduleAt(at Time, h Handler) (*Timer, error) {
 }
 
 // PostAt is ScheduleAt without a cancellation handle: the hot-path variant
-// for fire-and-forget events (message deliveries, query finalisation),
-// which schedules with zero allocations beyond the handler closure.
+// for fire-and-forget events, which schedules with zero allocations beyond
+// the handler closure. PostEventAt is the fully allocation-free typed form.
 func (e *Engine) PostAt(at Time, h Handler) error {
 	if at < e.now {
 		return ErrPast
@@ -110,11 +141,44 @@ func (e *Engine) PostAt(at Time, h Handler) error {
 	if e.horizon > 0 && at > e.horizon {
 		return nil // dropped by horizon policy, as ScheduleAt
 	}
-	ev := e.alloc(at, h)
+	ev := e.alloc(at, h, nil)
 	e.seq++
 	e.scheduled++
 	e.queue.push(ev)
 	return nil
+}
+
+// PostEventAt queues a typed event to fire at absolute virtual time at,
+// without a cancellation handle. This is the hot-path scheduling primitive:
+// with a pooled concrete event it allocates nothing in steady state. Under
+// the sharded runner, a Destined event posted here may be diverted to the
+// destination peer's shard.
+func (e *Engine) PostEventAt(at Time, ev Event) error {
+	if at < e.now {
+		return ErrPast
+	}
+	if e.horizon > 0 && at > e.horizon {
+		return nil // dropped by horizon policy, as ScheduleAt
+	}
+	if e.route != nil && e.route(at, ev) {
+		return nil // claimed by the shard router
+	}
+	w := e.alloc(at, nil, ev)
+	e.seq++
+	e.scheduled++
+	e.queue.push(w)
+	return nil
+}
+
+// PostEvent queues a typed event to fire after delay without a cancellation
+// handle; it panics on a negative delay (the only invalid input).
+func (e *Engine) PostEvent(delay Time, ev Event) {
+	if delay < 0 {
+		panic(ErrPast)
+	}
+	if err := e.PostEventAt(e.now+delay, ev); err != nil {
+		panic(err)
+	}
 }
 
 // Post queues h to run after delay without a cancellation handle; it panics
@@ -141,6 +205,9 @@ func (e *Engine) MustSchedule(delay Time, h Handler) *Timer {
 }
 
 // Stop makes the current Run return after the in-flight event completes.
+// Under the sharded loop, stopping a shard's engine ends the whole
+// Sharded run: the remaining shards finish the current epoch, then the
+// epoch loop returns.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run processes events until the queue drains, Stop is called, or maxEvents
@@ -178,13 +245,51 @@ func (e *Engine) RunUntil(deadline Time, maxEvents uint64) uint64 {
 		}
 		e.now = next.at
 		next.dead = true
-		h := next.handler
+		h, t := next.handler, next.typed
 		e.recycle(next)
-		h(e)
+		if t != nil {
+			if e.observer != nil {
+				e.observer(e.now, t)
+			}
+			t.Fire(e)
+		} else {
+			h(e)
+		}
 		e.processed++
 		delivered++
 	}
 	return delivered
+}
+
+// SetObserver installs fn to see every delivered typed event just before it
+// fires (nil uninstalls). Handler closures are not observed; the hook
+// exists for tests and debugging harnesses that assert on delivery order.
+func (e *Engine) SetObserver(fn func(at Time, ev Event)) { e.observer = fn }
+
+// advanceTo moves the clock forward to t without delivering anything; the
+// sharded runner uses it to keep idle shards' clocks in step with the
+// epoch. It never moves the clock backwards.
+func (e *Engine) advanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// peekTime returns the timestamp of the earliest pending live event, or
+// (0, false) when the queue holds none. Cancelled events at the head are
+// discarded on the way.
+func (e *Engine) peekTime() (Time, bool) {
+	for {
+		next := e.queue.peek()
+		if next == nil {
+			return 0, false
+		}
+		if !next.dead {
+			return next.at, true
+		}
+		e.queue.pop()
+		e.recycle(next)
+	}
 }
 
 // Drain discards all pending events without running them.

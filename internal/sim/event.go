@@ -60,17 +60,65 @@ func FromSeconds(s float64) Time {
 
 // Handler is the callback attached to a scheduled event. It receives the
 // engine so it can schedule follow-up events.
+//
+// Handler is the legacy closure form of event dispatch: every Schedule/Post
+// of a fresh closure allocates it. Hot paths use typed Events instead
+// (PostEvent and friends), which dispatch through a pooled concrete type
+// with zero allocations; Handler remains fully supported for cold paths and
+// existing callers, and the two forms interleave in one queue with the same
+// (time, seq) FIFO ordering.
 type Handler func(e *Engine)
 
+// Event is a typed scheduled action: the engine calls Fire on the engine
+// that delivers it. Concrete implementations live with the subsystem that
+// schedules them (protocol message deliveries, scenario churn ticks, core
+// submission chains) and are pooled by their owners, so steady-state
+// scheduling allocates nothing — storing a pointer-typed Event in the
+// queue's interface field does not box.
+//
+// Fire receives the delivering engine rather than a captured one so the
+// same event value works under the sharded runner, where the delivering
+// engine is the destination shard's.
+type Event interface {
+	Fire(e *Engine)
+}
+
+// Destined is implemented by events that name a destination peer. The
+// sharded runner routes a Destined event to the shard owning its
+// destination; undestined events stay on the engine they were scheduled on
+// (shard 0 hosts the control plane).
+type Destined interface {
+	Event
+	// EventDst returns the destination peer id.
+	EventDst() int
+}
+
+// Named is implemented by events that want a stable render name in traces
+// and debugging output; see EventName.
+type Named interface {
+	// EventName returns a short kind label, e.g. "query-deliver".
+	EventName() string
+}
+
+// EventName returns ev's render name: its EventName() when implemented,
+// otherwise its Go type.
+func EventName(ev Event) string {
+	if n, ok := ev.(Named); ok {
+		return n.EventName()
+	}
+	return fmt.Sprintf("%T", ev)
+}
+
 // event is an entry in the engine's priority queue. seq breaks timestamp
-// ties in scheduling order so same-instant events are FIFO. Events are
-// recycled through the engine's free list once delivered or discarded; gen
-// distinguishes incarnations so stale Timer handles cannot cancel an
-// unrelated later event.
+// ties in scheduling order so same-instant events are FIFO. Exactly one of
+// handler and typed is set. Events are recycled through the engine's free
+// list once delivered or discarded; gen distinguishes incarnations so stale
+// Timer handles cannot cancel an unrelated later event.
 type event struct {
 	at      Time
 	seq     uint64
 	handler Handler
+	typed   Event
 	index   int // heap bookkeeping
 	dead    bool
 	gen     uint64

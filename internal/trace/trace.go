@@ -39,6 +39,10 @@ const (
 	// PhaseEnter: a scenario phase entered (its dynamics events fired).
 	// Phase events carry no peer (Peer = -1) and no query id.
 	PhaseEnter
+	// EngineEvent: a typed simulator event was delivered (engine-level
+	// tracing via EventObserver). Detail carries the event's kind name;
+	// Peer carries its destination when the event names one.
+	EngineEvent
 )
 
 // String names the kind.
@@ -66,8 +70,26 @@ func (k Kind) String() string {
 		return "gossip"
 	case PhaseEnter:
 		return "phase"
+	case EngineEvent:
+		return "engine"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// EventObserver adapts a Tracer into a sim.Engine observer: every
+// delivered typed event is rendered as an EngineEvent carrying the event's
+// kind name (sim.EventName) and, for destined events, its destination
+// peer. Install it with Engine.SetObserver (or Sharded.SetObserver) to see
+// the typed event core itself — query deliveries, response hops, gossip
+// rounds, churn ticks — beneath the protocol-level trace.
+func EventObserver(tr Tracer) func(at sim.Time, ev sim.Event) {
+	return func(at sim.Time, ev sim.Event) {
+		e := Event{At: at, Kind: EngineEvent, Peer: -1, From: -1, Detail: sim.EventName(ev)}
+		if d, ok := ev.(sim.Destined); ok {
+			e.Peer = d.EventDst()
+		}
+		tr.Emit(e)
 	}
 }
 

@@ -143,6 +143,17 @@ type Options struct {
 	// Options fields act as the campaign's base configuration. Only
 	// RunSweep consults it.
 	Sweep *Sweep
+	// Shards, when > 1, runs each simulation on the experimental sharded
+	// event loop: peers partition into Shards per-locality event queues
+	// (locId modulo Shards), drained epoch by epoch with cross-locality
+	// deliveries hopping queues through a deterministic mailbox. Runs are
+	// exactly reproducible for a fixed shard count; because cross-shard
+	// same-instant deliveries interleave differently than in the single
+	// queue, results are statistically equivalent rather than bit-identical
+	// to Shards <= 1 (which always takes the plain engine path, locked
+	// byte-for-byte by the golden tables). See README "Typed event core
+	// and sharding".
+	Shards int
 	// Trials is the number of independent replications RunTrials and
 	// CompareTrials execute per protocol (<= 0 means 1). Trial t runs in
 	// its own simulated world rooted at a seed derived deterministically
@@ -234,6 +245,9 @@ func (o Options) coreConfig() core.Config {
 			period = sim.Second
 		}
 		cfg.Protocol.BloomGossipPeriod = period
+	}
+	if o.Shards > 1 {
+		cfg.Shards = o.Shards
 	}
 	cfg.ChurnEnabled = o.Churn
 	cfg.Churn = overlay.DefaultChurn()
