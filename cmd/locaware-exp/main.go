@@ -74,7 +74,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		trials     = flag.Int("trials", 1, "independent replications per experiment cell")
 		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = one per CPU)")
-		shards     = flag.Int("shards", 0, "per-locality event-loop shards per simulation (experimental; <=1 = single queue)")
+		shards     = flag.Int("shards", 0, "per-locality event-loop shards per simulation, each drained on its own goroutine (<=1 = single queue; clamped to the occupied locality count)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")

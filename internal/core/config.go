@@ -65,17 +65,21 @@ type Config struct {
 	// phase grid with ResolveScenario before building the simulation.
 	Scenario *scenario.Spec
 
-	// Shards, when > 1, runs the simulation on the experimental sharded
-	// event loop: peers partition by locality (locId modulo Shards), each
-	// shard drains its own queue epoch by epoch, and cross-locality
-	// deliveries hop shards through a deterministic mailbox. Runs are
-	// fully reproducible for a fixed shard count, but the cross-shard
-	// delivery interleaving differs from the single-queue order, so
-	// results are statistically equivalent rather than bit-identical to
-	// Shards <= 1 (which always uses the plain engine, byte-for-byte
-	// identical to previous releases). Shared protocol state keeps the
-	// shards draining sequentially today; the partition is the enabler
-	// for parallel drains once per-shard state lands.
+	// Shards, when > 1, runs the simulation on the sharded event loop:
+	// peers partition by locality (occupied locIds dense-ranked, rank
+	// modulo Shards), each shard drains its own queue epoch by epoch on
+	// its own goroutine (protocol state is split per shard), and
+	// cross-locality deliveries hop shards through a deterministic
+	// mailbox. The epoch lookahead is derived from the latency model's
+	// one-way floor plus the processing delay. Runs are fully
+	// reproducible for a fixed shard count, but the cross-shard delivery
+	// interleaving differs from the single-queue order, so results are
+	// statistically equivalent rather than bit-identical to Shards <= 1
+	// (which always uses the plain engine, byte-for-byte identical to
+	// previous releases). NewSimulation validates the value: negatives
+	// clamp to 1, and counts exceeding the number of occupied localities
+	// clamp down to it (empty shard engines would only add barrier
+	// overhead).
 	Shards int
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -94,6 +95,41 @@ func BenchmarkScenarioOverhead(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(mallocs)/float64(uint64(b.N)*queries), "allocs/query")
+		})
+	}
+}
+
+// BenchmarkShardedProtocolEvents drives a full Locaware run per shard
+// count — parallel epoch drain active for shards > 1 — and reports
+// protocol events/sec. On a 1-core container the parallel drain cannot
+// show wall-clock speedup; the figure this benchmark locks is overhead
+// parity: per-shard state plus epoch batching must keep shards > 1 within
+// noise of the single queue, so that multi-core hosts only see the upside.
+func BenchmarkShardedProtocolEvents(b *testing.B) {
+	const warmup, measured = 500, 2000
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var events uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := benchConfig(2000, int64(i+1))
+				cfg.Shards = shards
+				s := NewSimulation(cfg, protocol.Locaware{})
+				b.StartTimer()
+				res := s.RunMeasured(warmup, measured)
+				b.StopTimer()
+				if res.Err != nil {
+					b.Fatalf("shards=%d: run aborted: %v", shards, res.Err)
+				}
+				if res.Collector.Submitted() != measured {
+					b.Fatalf("shards=%d: submitted %d queries", shards, res.Collector.Submitted())
+				}
+				events += res.Events
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 		})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/p2prepro/locaware/internal/metrics"
 	"github.com/p2prepro/locaware/internal/protocol"
 	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/trace"
 )
 
 // shardFingerprint reduces a run to the values a determinism lock cares
@@ -64,6 +65,101 @@ func TestShardedRunDeterministic(t *testing.T) {
 		if a.Events == 0 || a.Control == 0 {
 			t.Fatalf("Shards=%d produced no traffic: %+v", shards, a)
 		}
+	}
+}
+
+// noopTracer is a do-nothing trace sink. Attaching any tracer forces the
+// sharded loop onto its sequential drain (a tracer is a cross-shard reader
+// the parallel epochs cannot serve race-free), which processes the exact
+// same events in the exact same order as the parallel drain — so comparing
+// a traced run against an untraced one pits the two drains against each
+// other on identical inputs.
+type noopTracer struct{}
+
+func (noopTracer) Emit(trace.Event) {}
+
+// TestShardedParallelMatchesSequentialProtocol locks the tentpole claim of
+// the per-shard-state refactor: with Shards > 1 the parallel epoch drain
+// (goroutine per shard) produces byte-identical metrics and per-query
+// records to the sequential drain of the same layout. Run under -race this
+// also proves the parallel drain touches no shared protocol state outside
+// the epoch barrier.
+func TestShardedParallelMatchesSequentialProtocol(t *testing.T) {
+	const peers, warmup, measured = 400, 50, 200
+	run := func(sequential bool) (shardFingerprint, []metrics.QueryRecord) {
+		cfg := benchConfig(peers, 11)
+		cfg.Shards = 4
+		cfg.Protocol.Collector = metrics.CollectorConfig{RetainRecords: true}
+		s := NewSimulation(cfg, protocol.Locaware{})
+		if sequential {
+			s.Network.Tracer = noopTracer{}
+		}
+		res := s.RunMeasured(warmup, measured)
+		if res.Err != nil {
+			t.Fatalf("sequential=%v: run aborted: %v", sequential, res.Err)
+		}
+		if got := res.Collector.Submitted(); got != measured {
+			t.Fatalf("sequential=%v: submitted %d queries, want %d", sequential, got, measured)
+		}
+		fp := shardFingerprint{
+			Success:  res.Collector.SuccessRate(),
+			Messages: res.Collector.AvgMessagesPerQuery(),
+			RTT:      res.Collector.AvgDownloadRTT(),
+			Events:   res.Events,
+			Control:  res.ControlMessages,
+			Cache:    res.CacheFilenames,
+		}
+		return fp, res.Collector.Records()
+	}
+	seqFp, seqRecs := run(true)
+	parFp, parRecs := run(false)
+	if !reflect.DeepEqual(seqFp, parFp) {
+		t.Fatalf("parallel drain diverged from sequential drain:\n  seq %+v\n  par %+v", seqFp, parFp)
+	}
+	if len(seqRecs) != measured {
+		t.Fatalf("sequential run retained %d records, want %d", len(seqRecs), measured)
+	}
+	if !reflect.DeepEqual(seqRecs, parRecs) {
+		for i := range seqRecs {
+			if i < len(parRecs) && !reflect.DeepEqual(seqRecs[i], parRecs[i]) {
+				t.Fatalf("record %d differs:\n  seq %+v\n  par %+v", i, seqRecs[i], parRecs[i])
+			}
+		}
+		t.Fatalf("record streams differ in length: seq %d, par %d", len(seqRecs), len(parRecs))
+	}
+}
+
+// TestShardedShardsClamped locks the Shards validation satellite: negative
+// (and zero) counts collapse to the single-queue path, and counts beyond
+// the number of occupied localities clamp down to it — empty shard engines
+// are never built.
+func TestShardedShardsClamped(t *testing.T) {
+	cfg := benchConfig(120, 5)
+	cfg.Shards = -3
+	s := NewSimulation(cfg, protocol.Locaware{})
+	if s.Cfg.Shards != 1 {
+		t.Fatalf("Shards=-3 clamped to %d, want 1", s.Cfg.Shards)
+	}
+	if s.Network.Sharded() {
+		t.Fatal("Shards=-3 must take the single-queue path")
+	}
+
+	cfg = benchConfig(120, 5)
+	cfg.Shards = 1 << 20
+	s = NewSimulation(cfg, protocol.Locaware{})
+	occupied := len(s.Locator.Census())
+	if occupied < 2 {
+		t.Fatalf("benchConfig world has %d occupied localities; clamping test needs >= 2", occupied)
+	}
+	if s.Cfg.Shards != occupied {
+		t.Fatalf("Shards=1<<20 clamped to %d, want occupied locality count %d", s.Cfg.Shards, occupied)
+	}
+	res := s.RunMeasured(0, 50)
+	if res.Err != nil {
+		t.Fatalf("clamped run aborted: %v", res.Err)
+	}
+	if got := res.Collector.Submitted(); got != 50 {
+		t.Fatalf("clamped run submitted %d queries, want 50", got)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"github.com/p2prepro/locaware/internal/metrics"
@@ -71,21 +72,63 @@ func NewSimulation(cfg Config, b protocol.Behavior) *Simulation {
 	catalog := workload.NewCatalog(cfg.Catalog, rng.Stream("catalog"))
 	placement := workload.NewPlacement(cfg.NumPeers, cfg.FilesPerPeer, catalog, rng.Stream("placement"))
 
+	// Validate the shard count: negatives (and zero) mean one queue, and
+	// more shards than occupied localities would only create empty shard
+	// engines — clamp down to the locality count instead.
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if occupied := len(locator.Census()); cfg.Shards > occupied {
+		cfg.Shards = occupied
+	}
+
 	var eng *sim.Engine
 	var loop runner
+	var net *protocol.Network
 	if cfg.Shards > 1 {
+		// Dense-rank the occupied locIds so peers spread over all shards
+		// even when the locId space is sparse: sorted occupied ids get
+		// ranks 0,1,2,… and a peer's shard is its locality's rank modulo
+		// the shard count. No shard is ever empty.
+		census := locator.Census()
+		occupied := make([]int, 0, len(census))
+		for id := range census {
+			occupied = append(occupied, int(id))
+		}
+		sort.Ints(occupied)
+		rank := make(map[int]int, len(occupied))
+		for i, id := range occupied {
+			rank[id] = i
+		}
+		shardOf := func(peer int) int { return rank[int(locator.LocID(peer))] % cfg.Shards }
+		// The epoch lookahead is derived, not configured: the minimum
+		// cross-peer delay the workload can produce is the model's one-way
+		// latency floor plus the per-hop processing delay, and every
+		// cross-shard event is a peer-to-peer message — so epochs batch as
+		// widely as correctness allows.
+		lookahead := sim.FromMillis(model.MinOneWay()) + cfg.Protocol.ProcessingDelay
 		sharded := sim.NewSharded(sim.ShardedOptions{
-			Shards:  cfg.Shards,
-			ShardOf: func(peer int) int { return int(locator.LocID(peer)) },
+			Shards:    cfg.Shards,
+			ShardOf:   shardOf,
+			Lookahead: lookahead,
 		})
 		eng = sharded.Engine(0)
 		loop = sharded
+		// One protocol RNG stream per shard: shard 0 keeps the single-queue
+		// stream name, so tie-breaking stays on familiar streams.
+		shardRngs := make([]*rand.Rand, cfg.Shards)
+		shardRngs[0] = rng.Stream("protocol")
+		for i := 1; i < cfg.Shards; i++ {
+			shardRngs[i] = rng.StreamN("protocol-shard", i)
+		}
+		net = protocol.NewShardedNetwork(sharded, shardOf, shardRngs, lookahead,
+			graph, model, locator, b, cfg.Protocol, rng.Stream("gid"))
 	} else {
 		eng = sim.NewEngine()
 		loop = eng
+		net = protocol.NewNetwork(eng, graph, model, locator, b, cfg.Protocol,
+			rng.Stream("gid"), rng.Stream("protocol"))
 	}
-	net := protocol.NewNetwork(eng, graph, model, locator, b, cfg.Protocol,
-		rng.Stream("gid"), rng.Stream("protocol"))
 
 	// Seed initial shared storage.
 	for p := 0; p < cfg.NumPeers; p++ {
@@ -165,6 +208,12 @@ type RunResult struct {
 	Duration sim.Time
 	// Events is the number of simulator events processed.
 	Events uint64
+	// Err is non-nil when a sharded run was aborted by a cross-shard
+	// barrier violation (a derived lookahead wider than the workload's
+	// minimum cross-shard delay — a harness bug, surfaced instead of
+	// crashing the campaign). The result then covers only the epochs
+	// delivered before the violation.
+	Err error
 }
 
 // Run submits numQueries queries at the generator's Poisson arrival times
@@ -201,6 +250,16 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 		}
 	}
 	s.runDeadline = 0
+	if sh, ok := s.loop.(*sim.Sharded); ok {
+		// Route the warmup records by query id (the sharded replacement for
+		// the mid-run collector swap), and drain epochs on one goroutine
+		// per shard unless a cross-shard reader is installed: a tracer
+		// observes deliveries globally, and a scenario mutates shared
+		// substrates from shard-0 events. The sequential drain delivers the
+		// identical event order, so toggling costs nothing but wall-clock.
+		s.Network.SetWarmupQueries(warmup)
+		sh.SetParallel(s.scenario == nil && s.Network.Tracer == nil)
+	}
 	s.scheduleSubmit(&submitEvent{s: s, warmup: warmup, total: total, ev: s.gen.Next()})
 	// Step until the last arrival has been generated (deadline known), then
 	// run the tail out in one deadline-bounded call. Stepping is batched
@@ -209,12 +268,17 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 	// never run on past it and deliver an already-queued event (a periodic
 	// control rescheduled beyond the eventual deadline before the horizon
 	// existed) that the deadline-bounded tail would have excluded.
-	for s.runDeadline == 0 {
+	for s.runDeadline == 0 && s.loopErr() == nil {
 		if s.loop.RunUntil(sim.Time(math.MaxInt64), 256) == 0 {
+			if s.loopErr() != nil {
+				break
+			}
 			panic("core: engine drained before the workload completed")
 		}
 	}
-	s.loop.RunUntil(s.runDeadline, 0)
+	if s.loopErr() == nil {
+		s.loop.RunUntil(s.runDeadline, 0)
+	}
 	s.Network.FlushPending()
 
 	res := &RunResult{
@@ -222,9 +286,10 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 		Collector:       s.Network.Collector,
 		ControlMessages: s.Network.ControlMessages(),
 		ControlBits:     s.Network.ControlBits(),
-		Forwarding:      s.Network.Forwarding,
+		Forwarding:      s.Network.Forwarding(),
 		Duration:        s.loop.Now(),
 		Events:          s.loop.Processed(),
+		Err:             s.loopErr(),
 	}
 	for _, n := range s.Network.Nodes() {
 		res.CacheFilenames += n.RI.Len()
@@ -252,7 +317,7 @@ func (se *submitEvent) Fire(*sim.Engine) {
 	if s.scenario != nil && se.i >= se.warmup {
 		s.scenario.OnSubmit(se.i - se.warmup)
 	}
-	s.Network.SubmitQuery(overlay.PeerID(se.ev.Requester), se.ev.Q)
+	s.Network.Submit(overlay.PeerID(se.ev.Requester), se.ev.Q)
 	if se.i+1 < se.total {
 		se.i++
 		se.ev = s.gen.Next()
@@ -272,7 +337,7 @@ func (ev *collectorResetEvent) Fire(*sim.Engine) { ev.s.Network.ResetCollector()
 // collector swap ahead of the first measured query, and — at the last
 // arrival — the run deadline and horizon.
 func (s *Simulation) scheduleSubmit(se *submitEvent) {
-	if se.i == se.warmup && se.warmup > 0 {
+	if se.i == se.warmup && se.warmup > 0 && !s.Network.Sharded() {
 		// Swap the collector just before the first measured query;
 		// in-flight warmup queries keep finalising into the old one.
 		if at := se.ev.At - 1; at < s.Engine.Now() {
@@ -295,6 +360,15 @@ func (s *Simulation) scheduleSubmit(se *submitEvent) {
 		s.loop.SetHorizon(s.runDeadline)
 		s.Engine.Stop()
 	}
+}
+
+// loopErr returns the sharded loop's barrier-violation error, or nil on
+// the plain engine (which has no failure mode).
+func (s *Simulation) loopErr() error {
+	if sh, ok := s.loop.(*sim.Sharded); ok {
+		return sh.Err()
+	}
+	return nil
 }
 
 // String identifies the simulation.

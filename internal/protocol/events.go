@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"github.com/p2prepro/locaware/internal/bloom"
+	"github.com/p2prepro/locaware/internal/keywords"
 	"github.com/p2prepro/locaware/internal/overlay"
 	"github.com/p2prepro/locaware/internal/sim"
 )
@@ -13,10 +14,13 @@ import (
 // and every message-carrying event names its destination peer
 // (sim.Destined), which is what the sharded runner routes on.
 //
-// Pooling protocol: the network acquires an event, fills it, posts it; the
-// event releases itself back to the pool at the end of Fire. An event
-// dropped by the engine's horizon is never fired and is reclaimed by the
-// GC, exactly like a dropped message buffer.
+// Pooling protocol: the sending shard acquires an event, fills it, posts
+// it; the event releases itself to the pool of the shard it fires on (its
+// destination's shard), resolved through the engine's shard index. Traffic
+// symmetry keeps per-shard pools balanced, and no pool is ever touched by
+// two shards within an epoch. An event dropped by the engine's horizon is
+// never fired and is reclaimed by the GC, exactly like a dropped message
+// buffer.
 
 // queryDeliverEvent delivers a forwarded query branch to dst.
 type queryDeliverEvent struct {
@@ -30,16 +34,17 @@ func (ev *queryDeliverEvent) EventName() string { return "query-deliver" }
 
 func (ev *queryDeliverEvent) Fire(e *sim.Engine) {
 	net := ev.net
-	net.receiveQuery(e, ev.dst, ev.msg)
-	net.releaseMsg(ev.msg)
+	st := net.stateOn(e)
+	net.receiveQuery(e, st, ev.dst, ev.msg)
+	st.releaseMsg(ev.msg)
 	ev.msg = nil
-	net.qdFree = append(net.qdFree, ev)
+	st.qdFree = append(st.qdFree, ev)
 }
 
-func (net *Network) acquireQueryDeliver(dst overlay.PeerID, msg *QueryMsg) *queryDeliverEvent {
-	if n := len(net.qdFree); n > 0 {
-		ev := net.qdFree[n-1]
-		net.qdFree = net.qdFree[:n-1]
+func (st *shardState) acquireQueryDeliver(net *Network, dst overlay.PeerID, msg *QueryMsg) *queryDeliverEvent {
+	if n := len(st.qdFree); n > 0 {
+		ev := st.qdFree[n-1]
+		st.qdFree = st.qdFree[:n-1]
 		ev.dst, ev.msg = dst, msg
 		return ev
 	}
@@ -61,15 +66,16 @@ func (ev *responseDeliverEvent) EventName() string { return "response-deliver" }
 
 func (ev *responseDeliverEvent) Fire(e *sim.Engine) {
 	net := ev.net
-	net.deliverResponse(e, ev.dst, ev.rsp)
+	st := net.stateOn(e)
+	net.deliverResponse(e, st, ev.dst, ev.rsp)
 	ev.rsp = nil
-	net.rdFree = append(net.rdFree, ev)
+	st.rdFree = append(st.rdFree, ev)
 }
 
-func (net *Network) acquireResponseDeliver(dst overlay.PeerID, rsp *ResponseMsg) *responseDeliverEvent {
-	if n := len(net.rdFree); n > 0 {
-		ev := net.rdFree[n-1]
-		net.rdFree = net.rdFree[:n-1]
+func (st *shardState) acquireResponseDeliver(net *Network, dst overlay.PeerID, rsp *ResponseMsg) *responseDeliverEvent {
+	if n := len(st.rdFree); n > 0 {
+		ev := st.rdFree[n-1]
+		st.rdFree = st.rdFree[:n-1]
 		ev.dst, ev.rsp = dst, rsp
 		return ev
 	}
@@ -78,7 +84,8 @@ func (net *Network) acquireResponseDeliver(dst overlay.PeerID, rsp *ResponseMsg)
 
 // finalizeEvent seals query id's record FinalizeAfter after submission. It
 // is destined to the query's origin: under the sharded runner the seal
-// fires on the shard that owns the requester.
+// fires on the shard that owns the requester — which is the shard holding
+// the query's pendingQuery.
 type finalizeEvent struct {
 	net *Network
 	id  QueryID
@@ -88,79 +95,148 @@ type finalizeEvent struct {
 func (ev *finalizeEvent) EventDst() int     { return int(ev.dst) }
 func (ev *finalizeEvent) EventName() string { return "query-finalize" }
 
-func (ev *finalizeEvent) Fire(*sim.Engine) {
+func (ev *finalizeEvent) Fire(e *sim.Engine) {
 	net := ev.net
-	net.finalize(ev.id)
-	net.finFree = append(net.finFree, ev)
+	st := net.stateOn(e)
+	net.finalize(st, ev.id)
+	st.finFree = append(st.finFree, ev)
 }
 
-func (net *Network) acquireFinalize(id QueryID, dst overlay.PeerID) *finalizeEvent {
-	if n := len(net.finFree); n > 0 {
-		ev := net.finFree[n-1]
-		net.finFree = net.finFree[:n-1]
+func (st *shardState) acquireFinalize(net *Network, id QueryID, dst overlay.PeerID) *finalizeEvent {
+	if n := len(st.finFree); n > 0 {
+		ev := st.finFree[n-1]
+		st.finFree = st.finFree[:n-1]
 		ev.id, ev.dst = id, dst
 		return ev
 	}
 	return &finalizeEvent{net: net, id: id, dst: dst}
 }
 
+// querySubmitEvent carries a sharded submission from the control shard to
+// the origin's shard, where the actual submission work (pending-query
+// creation, finalisation scheduling, first fan-out) runs with that shard's
+// state. The injection lead time equals the epoch lookahead, so posting it
+// across the shard boundary is barrier-safe by construction.
+type querySubmitEvent struct {
+	net *Network
+	dst overlay.PeerID
+	id  QueryID
+	q   keywords.Query
+}
+
+func (ev *querySubmitEvent) EventDst() int     { return int(ev.dst) }
+func (ev *querySubmitEvent) EventName() string { return "query-submit" }
+
+func (ev *querySubmitEvent) Fire(e *sim.Engine) {
+	net := ev.net
+	st := net.stateOn(e)
+	net.runSubmit(e, st, ev.id, ev.dst, ev.q)
+	ev.q = keywords.Query{}
+	st.qsFree = append(st.qsFree, ev)
+}
+
+func (st *shardState) acquireSubmit(net *Network, id QueryID, dst overlay.PeerID, q keywords.Query) *querySubmitEvent {
+	if n := len(st.qsFree); n > 0 {
+		ev := st.qsFree[n-1]
+		st.qsFree = st.qsFree[:n-1]
+		ev.dst, ev.id, ev.q = dst, id, q
+		return ev
+	}
+	return &querySubmitEvent{net: net, dst: dst, id: id, q: q}
+}
+
 // bloomInstallEvent delivers one Bloom gossip announcement: dst installs
-// (copies) from's announced filter after link latency. The carried filter
-// is one of from's two alternating announce buffers, frozen until from's
-// next-but-one gossip round — the install copies rather than retains it.
-// gen is the buffer generation at announce time: if the buffer has been
-// reused before the event lands (a gossip period shorter than twice the
-// link delay — a misconfiguration, but a reachable one under extreme
-// degrade-region scenarios), the install falls back to a copy of the
-// sender's current published filter and is counted. The fallback keeps
-// gossip convergent — the neighbour receives a valid (fresher) snapshot
-// instead of silently keeping round-r's content forever when later deltas
-// are empty — without ever installing torn buffer contents.
+// (copies) from's announced filter after link latency.
+//
+// Intra-shard (and single-queue) installs carry one of from's two
+// alternating announce buffers, frozen until from's next-but-one gossip
+// round — the install copies rather than retains it. gen is the buffer
+// generation at announce time: if the buffer has been reused before the
+// event lands (a gossip period shorter than twice the link delay — a
+// misconfiguration, but a reachable one under extreme degrade-region
+// scenarios), the install falls back to a copy of the sender's current
+// published filter and is counted. The fallback keeps gossip convergent —
+// the neighbour receives a valid (fresher) snapshot instead of silently
+// keeping round-r's content forever when later deltas are empty — without
+// ever installing torn buffer contents.
+//
+// Cross-shard installs (owned=true) instead carry a pooled copy taken at
+// announce time: the destination shard must not read the sender's live
+// announce buffers mid-epoch. The copy is exact announce-time content, so
+// neither the generation check nor the stale fallback applies; the filter
+// returns to the firing shard's snapshot pool after the install.
 type bloomInstallEvent struct {
-	net  *Network
-	dst  overlay.PeerID
-	from overlay.PeerID
-	snap *bloom.Filter
-	gen  uint64
+	net   *Network
+	dst   overlay.PeerID
+	from  overlay.PeerID
+	snap  *bloom.Filter
+	gen   uint64
+	owned bool
 }
 
 func (ev *bloomInstallEvent) EventDst() int     { return int(ev.dst) }
 func (ev *bloomInstallEvent) EventName() string { return "bloom-install" }
 
-func (ev *bloomInstallEvent) Fire(*sim.Engine) {
+func (ev *bloomInstallEvent) Fire(e *sim.Engine) {
 	net := ev.net
+	st := net.stateOn(e)
 	snap := ev.snap
-	if net.nodes[ev.from].announceGenOf(snap) != ev.gen {
-		net.staleBloomFallbacks++
-		snap = net.nodes[ev.from].PublishedBloom()
+	if ev.owned {
+		net.nodes[ev.dst].setNeighborBloom(ev.from, snap)
+		st.snapFree = append(st.snapFree, snap)
+	} else {
+		if net.nodes[ev.from].announceGenOf(snap) != ev.gen {
+			st.staleBloomFallbacks++
+			snap = net.nodes[ev.from].PublishedBloom()
+		}
+		net.nodes[ev.dst].setNeighborBloom(ev.from, snap)
 	}
-	net.nodes[ev.dst].setNeighborBloom(ev.from, snap)
 	ev.snap = nil
-	net.biFree = append(net.biFree, ev)
+	st.biFree = append(st.biFree, ev)
 }
 
-func (net *Network) acquireBloomInstall(dst, from overlay.PeerID, snap *bloom.Filter, gen uint64) *bloomInstallEvent {
-	if n := len(net.biFree); n > 0 {
-		ev := net.biFree[n-1]
-		net.biFree = net.biFree[:n-1]
-		ev.dst, ev.from, ev.snap, ev.gen = dst, from, snap, gen
+func (st *shardState) acquireBloomInstall(net *Network, dst, from overlay.PeerID, snap *bloom.Filter, gen uint64) *bloomInstallEvent {
+	if n := len(st.biFree); n > 0 {
+		ev := st.biFree[n-1]
+		st.biFree = st.biFree[:n-1]
+		ev.dst, ev.from, ev.snap, ev.gen, ev.owned = dst, from, snap, gen, false
 		return ev
 	}
 	return &bloomInstallEvent{net: net, dst: dst, from: from, snap: snap, gen: gen}
 }
 
-// gossipRoundEvent is the periodic gossip control: one instance per
-// network, rescheduling itself after each round — the typed, allocation-
-// free analogue of Engine.Every. It is undestined on purpose: the gossip
-// scan walks every node, so it belongs to the control shard.
+// acquireBloomInstallOwned builds a cross-shard install carrying a pooled
+// copy of src (the sender's announce-time snapshot).
+func (st *shardState) acquireBloomInstallOwned(net *Network, dst, from overlay.PeerID, src *bloom.Filter) *bloomInstallEvent {
+	var snap *bloom.Filter
+	if n := len(st.snapFree); n > 0 {
+		snap = st.snapFree[n-1]
+		st.snapFree = st.snapFree[:n-1]
+	} else {
+		snap = bloom.New(src.M(), src.K())
+	}
+	// Geometry matches by construction: all filters in one network share
+	// the configured bits/hashes.
+	_ = snap.CopyFrom(src)
+	ev := st.acquireBloomInstall(net, dst, from, snap, 0)
+	ev.owned = true
+	return ev
+}
+
+// gossipRoundEvent is the periodic gossip control: one instance per shard,
+// rescheduling itself on its own engine after each round — the typed,
+// allocation-free analogue of Engine.Every. It is undestined on purpose:
+// posted on its shard's engine at build time, it stays there, and its scan
+// walks only that shard's peers.
 type gossipRoundEvent struct {
 	net    *Network
+	st     *shardState
 	period sim.Time
 }
 
 func (ev *gossipRoundEvent) EventName() string { return "gossip-round" }
 
 func (ev *gossipRoundEvent) Fire(e *sim.Engine) {
-	ev.net.gossipBlooms(e)
+	ev.net.gossipBlooms(e, ev.st)
 	e.PostEvent(ev.period, ev)
 }

@@ -50,7 +50,7 @@ func churnFilters(net *Network, round int) {
 // deliver the install events.
 func gossipRound(net *Network, round int) {
 	churnFilters(net, round)
-	net.gossipBlooms(net.Engine)
+	net.gossipBlooms(net.Engine, net.states[0])
 	net.Engine.Run(0)
 }
 

@@ -2,10 +2,12 @@ package protocol
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"github.com/p2prepro/locaware/internal/cache"
 	"github.com/p2prepro/locaware/internal/keywords"
+	"github.com/p2prepro/locaware/internal/metrics"
 	"github.com/p2prepro/locaware/internal/netmodel"
 	"github.com/p2prepro/locaware/internal/overlay"
 	"github.com/p2prepro/locaware/internal/sim"
@@ -419,10 +421,10 @@ func TestChurnOfflineProvidersFiltered(t *testing.T) {
 	req := net.Node(0)
 	provs := []cache.Provider{{Peer: 3, LocID: req.Loc}}
 	net.Graph.Leave(3)
-	if live := net.liveProviders(provs); len(live) != 0 {
+	if live := net.liveProviders(net.states[0], provs); len(live) != 0 {
 		t.Fatal("offline provider not filtered")
 	}
-	if _, ok := (Locaware{}).SelectProvider(net, req, net.liveProviders(provs)); ok {
+	if _, ok := (Locaware{}).SelectProvider(net, req, net.liveProviders(net.states[0], provs)); ok {
 		t.Fatal("selection should fail with all providers offline")
 	}
 }
@@ -450,7 +452,7 @@ func TestFinalizeSealsRecordOnce(t *testing.T) {
 	if net.Collector.Submitted() != 1 {
 		t.Fatalf("submitted = %d", net.Collector.Submitted())
 	}
-	net.finalize(id) // idempotent
+	net.finalize(net.states[0], id) // idempotent
 	net.FlushPending()
 	if net.Collector.Submitted() != 1 {
 		t.Fatal("double finalisation")
@@ -760,7 +762,7 @@ func TestStaleBloomInstallFallsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap, gen := n.announceSnapshot()
-	ev := net.acquireBloomInstall(1, 0, snap, gen)
+	ev := net.states[0].acquireBloomInstall(net, 1, 0, snap, gen)
 	// Two more rounds reuse both buffers before the event fires; the
 	// second also publishes newer content ("beta").
 	n.announceSnapshot()
@@ -782,8 +784,58 @@ func TestStaleBloomInstallFallsBack(t *testing.T) {
 	}
 	// A fresh install still lands without the fallback counter moving.
 	snap, gen = n.announceSnapshot()
-	net.acquireBloomInstall(1, 0, snap, gen).Fire(net.Engine)
+	net.states[0].acquireBloomInstall(net, 1, 0, snap, gen).Fire(net.Engine)
 	if net.StaleBloomFallbacks() != 1 {
 		t.Fatal("fresh install miscounted as stale")
+	}
+}
+
+// TestFlushPendingDeterministicOrder is the regression lock for the
+// end-of-run flush: queries still in flight when a bounded run is cut off
+// finalise in ascending QueryID order — not Go's randomised map order — so
+// two identical truncated runs produce byte-identical trace output and
+// retained records. Before the fix this test was flaky by construction:
+// twelve pending queries in one map gave the flush 12! possible orders.
+func TestFlushPendingDeterministicOrder(t *testing.T) {
+	const queries = 12
+	run := func() ([]trace.Event, []metrics.QueryRecord) {
+		cfg := DefaultConfig()
+		// Finalisation far beyond the cutoff: every query is still in
+		// flight when the run stops, so FlushPending seals all of them.
+		cfg.FinalizeAfter = 10 * sim.Minute
+		net := testNet(t, Flooding{}, linePoints(8), lineEdges(8), cfg)
+		buf := trace.NewBuffer(1 << 14)
+		net.Tracer = buf
+		for i := 0; i < queries; i++ {
+			net.SubmitQuery(overlay.PeerID(i%8), keywords.NewQuery("no-such-file"))
+		}
+		net.Engine.RunUntil(5*sim.Second, 0)
+		net.FlushPending()
+		return buf.Events(), net.Collector.Records()
+	}
+	ev1, rec1 := run()
+	ev2, rec2 := run()
+	if !reflect.DeepEqual(ev1, ev2) {
+		t.Fatal("two identical truncated runs produced different traces")
+	}
+	if !reflect.DeepEqual(rec1, rec2) {
+		t.Fatal("two identical truncated runs produced different records")
+	}
+	if len(rec1) != queries {
+		t.Fatalf("flush sealed %d records, want %d", len(rec1), queries)
+	}
+	var failed []uint64
+	for _, e := range ev1 {
+		if e.Kind == trace.QueryFailed {
+			failed = append(failed, e.Query)
+		}
+	}
+	if len(failed) != queries {
+		t.Fatalf("flush emitted %d failure traces, want %d", len(failed), queries)
+	}
+	for i := 1; i < len(failed); i++ {
+		if failed[i] <= failed[i-1] {
+			t.Fatalf("flush finalisation order not ascending by id: %v", failed)
+		}
 	}
 }

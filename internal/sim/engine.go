@@ -33,7 +33,16 @@ type Engine struct {
 	// determinism test records global delivery order through it); nil costs
 	// one branch per delivery.
 	observer func(at Time, ev Event)
+	// shard is this engine's index under a sharded runner (0 for a plain
+	// engine). Event handlers use it to resolve shard-confined state from
+	// the engine they fire on.
+	shard int
 }
+
+// Shard returns the engine's shard index: its position under a sharded
+// runner, or 0 for a standalone engine. Protocol state that is split by
+// shard indexes on this value from within event handlers.
+func (e *Engine) Shard() int { return e.shard }
 
 // alloc takes an event from the free list or the heap.
 func (e *Engine) alloc(at Time, h Handler, t Event) *event {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"slices"
 	"sync"
@@ -22,8 +23,10 @@ type ShardedOptions struct {
 	ShardOf ShardMap
 	// Parallel drains the shards of one epoch on separate goroutines.
 	// All state touched by the events of a shard must then be confined to
-	// that shard (the experimental protocol path shares state across
-	// shards and therefore always runs sequentially).
+	// that shard. The protocol path satisfies this with per-shard pending
+	// maps, pools and record sinks; runs that install cross-shard readers
+	// (a tracer, a scenario mutating shared substrates) switch back to the
+	// sequential drain, which delivers the identical event order.
 	Parallel bool
 	// Lookahead widens each epoch's barrier from the minimum pending time
 	// T to T+Lookahead. It must not exceed the minimum cross-shard event
@@ -68,6 +71,16 @@ type Sharded struct {
 	flush   []mailItem
 	counts  []uint64
 	stopped bool
+	// err records a barrier violation: a cross-shard event due before its
+	// destination shard's clock, i.e. a Lookahead wider than the workload's
+	// minimum cross-shard delay. It ends the run at the next epoch
+	// boundary and is surfaced through Err / ShardedRun.
+	err error
+	// epochHook, when non-nil, runs after every epoch's drain, on the
+	// caller's goroutine (never concurrently with shard drains). The
+	// protocol layer uses it to merge per-shard bookkeeping — cross-shard
+	// message counts, finalized-query records — deterministically.
+	epochHook func()
 }
 
 // NewSharded builds a sharded loop. It panics on Shards > 1 without a
@@ -90,6 +103,7 @@ func NewSharded(opts ShardedOptions) *Sharded {
 	}
 	for i := range s.engines {
 		s.engines[i] = NewEngine()
+		s.engines[i].shard = i
 	}
 	if opts.Shards > 1 {
 		for i := range s.engines {
@@ -183,6 +197,23 @@ func (s *Sharded) SetObserver(fn func(at Time, ev Event)) {
 // Stop makes the current Run return at the next epoch boundary.
 func (s *Sharded) Stop() { s.stopped = true }
 
+// SetParallel switches the epoch drains between goroutine-per-shard and
+// sequential execution. Both deliver the identical event order; callers
+// toggle it per run depending on whether every piece of state the events
+// touch is shard-confined (see ShardedOptions.Parallel).
+func (s *Sharded) SetParallel(parallel bool) { s.opts.Parallel = parallel }
+
+// SetEpochHook installs fn to run after every epoch's drain (sequentially,
+// never concurrently with shard goroutines), and once more when a run
+// returns. nil uninstalls. The protocol layer merges its per-shard
+// bookkeeping here.
+func (s *Sharded) SetEpochHook(fn func()) { s.epochHook = fn }
+
+// Err returns the barrier-violation error that aborted the run, if any. A
+// non-nil value means the configured Lookahead exceeded the workload's
+// minimum cross-shard delay; results past that epoch are partial.
+func (s *Sharded) Err() error { return s.err }
+
 // flushMail moves every outbox item into its destination shard's queue, in
 // (time, source shard, source sequence) order — the deterministic merge
 // that makes cross-shard delivery independent of drain interleaving.
@@ -216,12 +247,16 @@ func (s *Sharded) flushMail() {
 		}
 	})
 	for _, m := range s.flush {
-		dst := s.engines[s.shardOf(m.ev.(Destined).EventDst())]
+		dstIdx := s.shardOf(m.ev.(Destined).EventDst())
+		dst := s.engines[dstIdx]
 		if err := dst.PostEventAt(m.at, m.ev); err != nil {
 			// The only possible error is ErrPast: a cross-shard event due
 			// inside the epoch that sent it, i.e. a Lookahead larger than
-			// the workload's minimum cross-shard delay.
-			panic("sim: cross-shard event arrived before the epoch barrier; reduce ShardedOptions.Lookahead")
+			// the workload's minimum cross-shard delay. Record it and end
+			// the run instead of crashing the whole campaign.
+			s.err = fmt.Errorf("sim: cross-shard event at t=%v from shard %d to shard %d arrived before the epoch barrier (destination clock %v, lookahead %v): %w",
+				m.at, m.src, dstIdx, dst.Now(), s.opts.Lookahead, err)
+			return
 		}
 	}
 }
@@ -249,7 +284,11 @@ func (s *Sharded) Run(maxEvents uint64) uint64 {
 // Engine run.
 func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 	if len(s.engines) == 1 {
-		return s.engines[0].RunUntil(deadline, maxEvents)
+		n := s.engines[0].RunUntil(deadline, maxEvents)
+		if s.epochHook != nil {
+			s.epochHook()
+		}
+		return n
 	}
 	s.stopped = false
 	var delivered uint64
@@ -258,6 +297,9 @@ func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 			break
 		}
 		s.flushMail()
+		if s.err != nil {
+			break
+		}
 		minT, ok := s.minPending()
 		if !ok {
 			break
@@ -301,6 +343,11 @@ func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 				}
 			}
 		}
+		if s.epochHook != nil {
+			// The epoch boundary: shard goroutines (if any) have joined,
+			// so cross-shard merges are race-free here.
+			s.epochHook()
+		}
 	}
 	return delivered
 }
@@ -339,9 +386,13 @@ func (s *Sharded) drainParallel(barrier Time) uint64 {
 
 // ShardedRun is the one-shot form: build the loop, let seed schedule the
 // initial events on the shard engines, then run to completion. It returns
-// the number of events delivered.
-func ShardedRun(opts ShardedOptions, seed func(s *Sharded)) uint64 {
+// the number of events delivered, and a non-nil error when the run was
+// aborted by a cross-shard barrier violation (a Lookahead wider than the
+// workload's minimum cross-shard delay); the count then covers only the
+// epochs delivered before the violation.
+func ShardedRun(opts ShardedOptions, seed func(s *Sharded)) (uint64, error) {
 	s := NewSharded(opts)
 	seed(s)
-	return s.Run(0)
+	n := s.Run(0)
+	return n, s.Err()
 }

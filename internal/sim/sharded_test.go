@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -214,8 +216,11 @@ func TestShardedObserverAndBudget(t *testing.T) {
 // TestShardedRunHelper covers the one-shot entry point.
 func TestShardedRunHelper(t *testing.T) {
 	var log []hopRecord
-	n := ShardedRun(ShardedOptions{Shards: 2, ShardOf: func(p int) int { return p }},
+	n, err := ShardedRun(ShardedOptions{Shards: 2, ShardOf: func(p int) int { return p }},
 		func(s *Sharded) { seedHops(s, 2, 4, 5, &log) })
+	if err != nil {
+		t.Fatalf("ShardedRun error: %v", err)
+	}
 	if n != 12 {
 		t.Fatalf("ShardedRun delivered %d, want 12", n)
 	}
@@ -263,5 +268,82 @@ func TestShardedStopPropagates(t *testing.T) {
 	// The stopped run can be resumed by calling Run again.
 	if n := s.Run(0); n != 1 || len(log) != 2 {
 		t.Fatalf("resume delivered %d (log %v)", n, log)
+	}
+}
+
+// crossPoster is an undestined event that, when fired, posts its probe
+// with the given delay — from inside an epoch, so a cross-shard probe due
+// before another shard's clock exercises the barrier-violation path.
+type crossPoster struct {
+	delay Time
+	probe *mailProbe
+}
+
+func (p *crossPoster) Fire(e *Engine) { e.PostEvent(p.delay, p.probe) }
+
+// TestShardedBarrierViolationError locks the graceful-degradation contract:
+// a Lookahead wider than the workload's minimum cross-shard delay ends the
+// run with an error naming the event time and the shards involved, instead
+// of panicking.
+func TestShardedBarrierViolationError(t *testing.T) {
+	var log []string
+	n, err := ShardedRun(ShardedOptions{
+		Shards:    2,
+		ShardOf:   func(peer int) int { return peer },
+		Lookahead: 100, // far wider than the 10-tick cross-shard delay below
+	}, func(s *Sharded) {
+		// Shard 0 posts a cross-shard probe at t=10+10=20; shard 1's local
+		// event at t=50 drains in the same (lookahead-widened) epoch, so
+		// the probe arrives behind shard 1's clock at the next flush.
+		s.Engine(0).PostEvent(10, &crossPoster{delay: 10, probe: &mailProbe{dst: 1, tag: "late", log: &log}})
+		s.Engine(1).PostEvent(50, &mailProbe{dst: 1, tag: "local", log: &log})
+	})
+	if err == nil {
+		t.Fatal("barrier violation did not surface as an error")
+	}
+	if !errors.Is(err, ErrPast) {
+		t.Fatalf("error does not wrap ErrPast: %v", err)
+	}
+	for _, want := range []string{"t=20", "from shard 0 to shard 1", "lookahead 100"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if n != 2 {
+		t.Fatalf("delivered %d events before the violation, want 2", n)
+	}
+	// The late probe was never delivered.
+	if !reflect.DeepEqual(log, []string{"local@50"}) {
+		t.Fatalf("log = %v", log)
+	}
+}
+
+// TestShardedEpochHook locks the merge point the protocol layer builds on:
+// the hook runs after every epoch with all shard drains joined — so it
+// always observes a log no event is concurrently appending to — and once
+// more covers the final epoch, on the multi-shard loop and the single-shard
+// delegate alike.
+func TestShardedEpochHook(t *testing.T) {
+	for _, shards := range []int{1, 2, 3} {
+		s := NewSharded(ShardedOptions{
+			Shards:  shards,
+			ShardOf: func(peer int) int { return peer },
+		})
+		var log []hopRecord
+		seedHops(s, 3, 6, 8, &log)
+		var sizes []int
+		s.SetEpochHook(func() { sizes = append(sizes, len(log)) })
+		s.Run(0)
+		if len(sizes) == 0 {
+			t.Fatalf("shards=%d: epoch hook never ran", shards)
+		}
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i] < sizes[i-1] {
+				t.Fatalf("shards=%d: hook observations not monotonic: %v", shards, sizes)
+			}
+		}
+		if last := sizes[len(sizes)-1]; last != len(log) {
+			t.Fatalf("shards=%d: final hook saw %d deliveries, run produced %d", shards, last, len(log))
+		}
 	}
 }

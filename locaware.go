@@ -143,16 +143,20 @@ type Options struct {
 	// Options fields act as the campaign's base configuration. Only
 	// RunSweep consults it.
 	Sweep *Sweep
-	// Shards, when > 1, runs each simulation on the experimental sharded
-	// event loop: peers partition into Shards per-locality event queues
-	// (locId modulo Shards), drained epoch by epoch with cross-locality
-	// deliveries hopping queues through a deterministic mailbox. Runs are
+	// Shards, when > 1, runs each simulation on the sharded event loop:
+	// peers partition into Shards per-locality event queues (occupied
+	// locIds dense-ranked, rank modulo Shards), protocol state is split
+	// per shard, and the queues of each epoch drain on one goroutine per
+	// shard — a single run uses multiple cores — with cross-locality
+	// deliveries hopping queues through a deterministic mailbox and the
+	// epoch width derived from the latency model's one-way floor. Runs are
 	// exactly reproducible for a fixed shard count; because cross-shard
 	// same-instant deliveries interleave differently than in the single
 	// queue, results are statistically equivalent rather than bit-identical
 	// to Shards <= 1 (which always takes the plain engine path, locked
-	// byte-for-byte by the golden tables). See README "Typed event core
-	// and sharding".
+	// byte-for-byte by the golden tables). Values exceeding the occupied
+	// locality count clamp down to it. See README "Typed event core and
+	// sharding".
 	Shards int
 	// Trials is the number of independent replications RunTrials and
 	// CompareTrials execute per protocol (<= 0 means 1). Trial t runs in
@@ -381,6 +385,18 @@ func newResult(p Protocol, r *core.RunResult) *Result {
 	}
 }
 
+// resultErr surfaces a sharded run abort (a cross-shard barrier violation,
+// which ends the run with partial results instead of crashing) from any of
+// the given runs as a facade error.
+func resultErr(runs ...*core.RunResult) error {
+	for _, r := range runs {
+		if r != nil && r.Err != nil {
+			return fmt.Errorf("locaware: sharded run aborted: %w", r.Err)
+		}
+	}
+	return nil
+}
+
 // validateRun checks the shared warmup/queries bounds of every run entry
 // point.
 func validateRun(warmup, queries int) error {
@@ -423,7 +439,11 @@ func Run(o Options, p Protocol, warmup, queries int) (*Result, error) {
 		return nil, err
 	}
 	s := core.NewSimulation(o.scenarioConfig(queries), b)
-	return newResult(p, s.RunMeasured(warmup, queries)), nil
+	r := s.RunMeasured(warmup, queries)
+	if err := resultErr(r); err != nil {
+		return nil, err
+	}
+	return newResult(p, r), nil
 }
 
 // TraceEvent is one traced protocol action in a RunTraced run.
@@ -473,7 +493,11 @@ func RunTraced(o Options, p Protocol, warmup, queries, maxEvents int) (*Result, 
 	s := core.NewSimulation(o.scenarioConfig(queries), b)
 	buf := trace.NewBuffer(maxEvents)
 	s.Network.Tracer = buf
-	res := newResult(p, s.RunMeasured(warmup, queries))
+	r := s.RunMeasured(warmup, queries)
+	if err := resultErr(r); err != nil {
+		return nil, nil, err
+	}
+	res := newResult(p, r)
 	events := make([]TraceEvent, 0, buf.Len())
 	for _, e := range buf.Events() {
 		events = append(events, TraceEvent{
@@ -523,6 +547,9 @@ func Compare(o Options, protocols []Protocol, warmup, queries int, checkpoints [
 	cmp := core.RunComparisonWorkers(o.coreConfig(), behaviors, o.Workers, warmup, queries, checkpoints)
 	out := &Comparison{cmp: cmp}
 	for i, name := range cmp.Order {
+		if err := resultErr(cmp.Results[name]); err != nil {
+			return nil, err
+		}
 		out.Results = append(out.Results, newResult(protocols[i], cmp.Results[name]))
 	}
 	return out, nil
@@ -625,6 +652,9 @@ func RunTrials(o Options, p Protocol, warmup, queries int) (*TrialsResult, error
 		return nil, err
 	}
 	cell := core.RunTrials(o.coreConfig(), b, core.TrialOptions{Trials: o.Trials, Workers: o.Workers}, warmup, queries)
+	if err := resultErr(cell.Runs...); err != nil {
+		return nil, err
+	}
 	return newTrialsResult(p, cell), nil
 }
 
@@ -655,6 +685,9 @@ func CompareTrials(o Options, protocols []Protocol, warmup, queries int, checkpo
 		core.TrialOptions{Trials: o.Trials, Workers: o.Workers}, warmup, queries, checkpoints)
 	out := &TrialsComparison{cmp: tc}
 	for i, name := range tc.Order {
+		if err := resultErr(tc.Cells[name].Runs...); err != nil {
+			return nil, err
+		}
 		out.Sets = append(out.Sets, newTrialsResult(protocols[i], tc.Cells[name]))
 	}
 	return out, nil
