@@ -46,6 +46,19 @@
 // and one fig_<metric>.csv per headline metric into a directory. The
 // -trials/-seed/-warmup/-queries flags override the campaign spec only
 // when set explicitly on the command line.
+//
+// Distributed, resumable campaigns (see README "Distributed campaigns"):
+//
+//	locaware-exp -sweep ttl-sweep -checkpoint ckpt/     # checkpoint per cell; re-run resumes
+//	locaware-exp -sweep ttl-sweep -serve :8080 ...      # coordinator: lease cells to workers
+//	locaware-exp -sweep ttl-sweep -worker http://host:8080  # worker: lease, run, report
+//
+// Checkpoints are bound to the campaign's content hash (spec + seed +
+// trials + protocols + base flags), so stale files are detected and
+// their cells re-run; -resume=false ignores existing checkpoints.
+// Coordinator and workers must be launched with the identical spec and
+// base flags — a fingerprint mismatch refuses work instead of silently
+// computing a different campaign.
 package main
 
 import (
@@ -56,6 +69,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	locaware "github.com/p2prepro/locaware"
 )
@@ -68,6 +82,11 @@ func main() {
 		scen       = flag.String("scenario", "", "phased-dynamics scenario: a built-in name, a JSON spec path, or 'list'")
 		sweepArg   = flag.String("sweep", "", "sweep campaign: a built-in name, a JSON spec path, or 'list'")
 		out        = flag.String("out", "", "directory to write sweep CSV exports into")
+		serve      = flag.String("serve", "", "with -sweep: run a campaign coordinator on this address (host:port) leasing cells to -worker processes")
+		workerURL  = flag.String("worker", "", "with -sweep: run a campaign worker against this coordinator URL (launch with the coordinator's exact spec and flags)")
+		checkpoint = flag.String("checkpoint", "", "with -sweep: checkpoint finished cells into this directory (one content-addressed file per cell)")
+		resume     = flag.Bool("resume", true, "with -checkpoint: load existing checkpoints and execute only the missing cells (-resume=false re-runs everything)")
+		leaseT     = flag.Duration("lease-timeout", 2*time.Minute, "with -serve: reissue a leased cell if its worker has not reported within this deadline")
 		peers      = flag.Int("peers", 1000, "number of peers")
 		warmup     = flag.Int("warmup", 1000, "warmup queries")
 		queries    = flag.Int("queries", 2000, "measured queries")
@@ -114,7 +133,13 @@ func main() {
 	case *scen != "":
 		runScenario(opts, *scen, *warmup, *queries)
 	case *sweepArg != "":
-		runSweep(opts, *sweepArg, *out, setFlags(), *warmup, *queries)
+		dist := distOpts{
+			serve: *serve, worker: *workerURL,
+			checkpoint: *checkpoint, resume: *resume, lease: *leaseT,
+		}
+		runSweep(opts, *sweepArg, *out, setFlags(), *warmup, *queries, dist)
+	case *serve != "" || *workerURL != "" || *checkpoint != "":
+		fatal(fmt.Errorf("-serve/-worker/-checkpoint need -sweep to name the campaign"))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -177,7 +202,18 @@ func runScenario(opts locaware.Options, arg string, warmup, queries int) {
 	}
 }
 
-func runSweep(opts locaware.Options, arg, outDir string, set map[string]bool, warmup, queries int) {
+// distOpts carries the distributed/resumable campaign flags.
+type distOpts struct {
+	serve      string
+	worker     string
+	checkpoint string
+	resume     bool
+	lease      time.Duration
+}
+
+func (d distOpts) enabled() bool { return d.serve != "" || d.worker != "" || d.checkpoint != "" }
+
+func runSweep(opts locaware.Options, arg, outDir string, set map[string]bool, warmup, queries int, dist distOpts) {
 	if arg == "list" {
 		fmt.Println("== Built-in sweep campaigns")
 		for _, name := range locaware.SweepNames() {
@@ -220,9 +256,41 @@ func runSweep(opts locaware.Options, arg, outDir string, set map[string]bool, wa
 		}
 		sw = sw.WithBudget(w, q)
 	}
-	res, err := locaware.RunSweep(opts, sw)
-	if err != nil {
-		fatal(err)
+	if dist.serve != "" && dist.worker != "" {
+		fatal(fmt.Errorf("-serve and -worker are mutually exclusive: a process is a coordinator or a worker, not both"))
+	}
+	copt := locaware.CampaignOptions{
+		Checkpoint:   dist.checkpoint,
+		Resume:       dist.resume,
+		LeaseTimeout: dist.lease,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("campaign: "+format+"\n", args...)
+		},
+	}
+	var (
+		res   *locaware.SweepResult
+		stats locaware.CampaignStats
+		err2  error
+	)
+	switch {
+	case dist.worker != "":
+		// Worker mode: execute cells for a remote coordinator; the
+		// coordinator prints the campaign tables.
+		n, err := locaware.WorkSweep(opts, sw, dist.worker, copt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("worker done: executed %d cells\n", n)
+		return
+	case dist.serve != "":
+		res, stats, err2 = locaware.ServeSweep(opts, sw, dist.serve, copt)
+	case dist.checkpoint != "":
+		res, stats, err2 = locaware.RunSweepCheckpointed(opts, sw, copt)
+	default:
+		res, err2 = locaware.RunSweep(opts, sw)
+	}
+	if err2 != nil {
+		fatal(err2)
 	}
 	fmt.Printf("== Sweep campaign %q: %s\n", sw.Name(), sw.Description())
 	fmt.Printf("axes: %s | %d cells × %d protocols × %d trials = %d runs (seed %d)\n\n",
@@ -251,6 +319,16 @@ func runSweep(opts locaware.Options, arg, outDir string, set map[string]bool, wa
 	}
 	fmt.Printf("\ncompleted %d cells (%d runs) in %.1fs — %.2f cells/sec\n",
 		res.NumCells(), res.Runs(), res.Elapsed().Seconds(), res.CellsPerSecond())
+	if dist.enabled() {
+		fmt.Printf("campaign: %d/%d cells resumed from checkpoints, %d executed", stats.Resumed, stats.Cells, stats.Executed)
+		if stats.Reissued > 0 || stats.Duplicates > 0 {
+			fmt.Printf(", %d leases reissued, %d duplicate results discarded", stats.Reissued, stats.Duplicates)
+		}
+		fmt.Println()
+		for _, w := range stats.Warnings {
+			fmt.Println("campaign warning:", w)
+		}
+	}
 	if outDir != "" {
 		writeSweepExports(res, outDir)
 	}

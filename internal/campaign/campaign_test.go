@@ -1,0 +1,281 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/sweep"
+)
+
+// tinySpec mirrors the sweep package's golden fixture: a 2x2 grid, two
+// protocols, two trials — 4 cells whose uninterrupted CSV is recorded in
+// ../sweep/testdata/golden_sweep_2x2x2.csv.
+func tinySpec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:      "tiny",
+		Warmup:    40,
+		Queries:   120,
+		Trials:    2,
+		Protocols: []string{"Dicas", "Locaware"},
+		Scenario:  "churn-waves",
+		Axes: []sweep.Axis{
+			{Param: sweep.ParamPeers, Values: []float64{60, 90}},
+			{Param: sweep.ParamCacheFilenames, Values: []float64{5, 50}},
+		},
+	}
+}
+
+func goldenCSV(t testing.TB) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "sweep", "testdata", "golden_sweep_2x2x2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func tinyPlan(t testing.TB) *sweep.Plan {
+	t.Helper()
+	p, err := sweep.NewPlan(core.DefaultConfig(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	plan := tinyPlan(t)
+	store, err := OpenStore(t.TempDir(), plan.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := plan.RunCellAt(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(cr); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite must be idempotent (a reissued lease may checkpoint twice).
+	if err := store.Put(cr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, warnings, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
+	}
+	if len(loaded) != 1 {
+		t.Fatalf("loaded %d cells, want 1", len(loaded))
+	}
+	got, ok := loaded[0]
+	if !ok {
+		t.Fatal("cell 0 missing from load")
+	}
+	// The JSON round trip must preserve every bit — floats included — or
+	// resumed campaigns could not be byte-identical.
+	if !reflect.DeepEqual(*got, *cr) {
+		t.Fatalf("checkpoint round trip drifted:\nput:    %+v\nloaded: %+v", *cr, *got)
+	}
+	// No stray temp files after committed writes.
+	entries, err := os.ReadDir(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leaked temp file %s", e.Name())
+		}
+	}
+}
+
+// TestRunResumeByteIdentity is the kill-and-resume contract: a campaign
+// interrupted after a subset of cells, then resumed, executes only the
+// missing cells (locked by the Executed run counter) and produces output
+// byte-identical to the uninterrupted golden CSV.
+func TestRunResumeByteIdentity(t *testing.T) {
+	base := core.DefaultConfig()
+	golden := goldenCSV(t)
+	dir := t.TempDir()
+
+	// Simulate the interrupted first run: cells 0 and 2 finished and were
+	// checkpointed, then the process died.
+	plan := tinyPlan(t)
+	store, err := OpenStore(dir, plan.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.RunCells([]int{0, 2}, 4, func(cr *sweep.CellResult) {
+		if err := store.Put(cr); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: only cells 1 and 3 may execute.
+	camp, stats, err := Run(base, tinySpec(), 4, Options{Checkpoint: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 2 {
+		t.Fatalf("resumed %d cells, want 2", stats.Resumed)
+	}
+	if stats.Executed != 2 {
+		t.Fatalf("executed %d cells, want exactly the 2 missing ones", stats.Executed)
+	}
+	if got := camp.CSV(); got != golden {
+		t.Fatalf("resumed campaign CSV differs from uninterrupted golden:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+
+	// A second resume finds everything checkpointed and computes nothing.
+	camp2, stats2, err := Run(base, tinySpec(), 4, Options{Checkpoint: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Resumed != 4 || stats2.Executed != 0 {
+		t.Fatalf("full resume: resumed %d executed %d, want 4/0", stats2.Resumed, stats2.Executed)
+	}
+	if camp2.CSV() != golden {
+		t.Fatal("fully resumed campaign CSV differs from golden")
+	}
+
+	// Resume disabled: checkpoints are ignored and every cell recomputes.
+	_, stats3, err := Run(base, tinySpec(), 4, Options{Checkpoint: dir, Resume: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Resumed != 0 || stats3.Executed != 4 {
+		t.Fatalf("resume disabled: resumed %d executed %d, want 0/4", stats3.Resumed, stats3.Executed)
+	}
+}
+
+// TestRunSurvivesDamagedCheckpoints damages three of four checkpoint
+// files — truncation, garbage, a foreign campaign hash — and asserts the
+// campaign reports each, re-runs exactly those cells, and still renders
+// the golden bytes.
+func TestRunSurvivesDamagedCheckpoints(t *testing.T) {
+	base := core.DefaultConfig()
+	golden := goldenCSV(t)
+	dir := t.TempDir()
+
+	if _, _, err := Run(base, tinySpec(), 4, Options{Checkpoint: dir}); err != nil {
+		t.Fatal(err)
+	}
+	plan := tinyPlan(t)
+	store, err := OpenStore(dir, plan.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cell 0: truncated mid-document (simulates a torn write on a
+	// filesystem without atomic rename semantics).
+	data, err := os.ReadFile(store.Path(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.Path(0), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Cell 1: not JSON at all.
+	if err := os.WriteFile(store.Path(1), []byte("{this is not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Cell 2: well-formed but from a different campaign.
+	foreign := `{"version":1,"spec_hash":"deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef","cell":{"index":2}}`
+	if err := os.WriteFile(store.Path(2), []byte(foreign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Cell 3 stays valid.
+
+	camp, stats, err := Run(base, tinySpec(), 4, Options{Checkpoint: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 1 {
+		t.Fatalf("resumed %d cells, want only the intact cell 3", stats.Resumed)
+	}
+	if stats.Executed != 3 {
+		t.Fatalf("executed %d cells, want the 3 damaged ones", stats.Executed)
+	}
+	if len(stats.Warnings) < 3 {
+		t.Fatalf("want >= 3 damage warnings, got %v", stats.Warnings)
+	}
+	for i, substr := range map[int]string{0: "corrupted or truncated", 1: "corrupted or truncated", 2: "belongs to campaign"} {
+		found := false
+		name := filepath.Base(store.Path(i))
+		for _, w := range stats.Warnings {
+			if strings.Contains(w, name) && strings.Contains(w, substr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no warning matching %q for %s in %v", substr, name, stats.Warnings)
+		}
+	}
+	if camp.CSV() != golden {
+		t.Fatal("campaign with damaged checkpoints drifted from golden CSV")
+	}
+
+	// The recovery run rewrote valid checkpoints: the next resume is total.
+	_, stats2, err := Run(base, tinySpec(), 4, Options{Checkpoint: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Resumed != 4 || stats2.Executed != 0 || len(stats2.Warnings) != 0 {
+		t.Fatalf("post-recovery resume: resumed %d executed %d warnings %v, want 4/0/none",
+			stats2.Resumed, stats2.Executed, stats2.Warnings)
+	}
+}
+
+// TestStoreRejectsWrongVersion covers the format-version gate separately
+// since Run-level tests can't produce a future version.
+func TestStoreRejectsWrongVersion(t *testing.T) {
+	plan := tinyPlan(t)
+	store, err := OpenStore(t.TempDir(), plan.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := `{"version":99,"spec_hash":"` + plan.Hash() + `","cell":{"index":0}}`
+	if err := os.WriteFile(store.Path(0), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cells, warnings, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatal("future-version checkpoint must not load")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "format version 99") {
+		t.Fatalf("want a version warning, got %v", warnings)
+	}
+}
+
+func TestJobCodec(t *testing.T) {
+	j := &Job{SpecHash: "abc", Cell: 3, Seed: -42, Protocols: []string{"Dicas", "Locaware"}, Trials: 2}
+	data, err := EncodeJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJob(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j, back) {
+		t.Fatalf("job round trip drifted: %+v vs %+v", j, back)
+	}
+	if _, err := DecodeJob([]byte(`{"spec_hash":"x","cell":0,"surprise":true}`)); err == nil {
+		t.Fatal("unknown job fields must be rejected")
+	}
+	if _, err := EncodeJob(nil); err == nil {
+		t.Fatal("nil job must be rejected")
+	}
+}

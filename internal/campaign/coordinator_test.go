@@ -1,0 +1,231 @@
+package campaign
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/sweep"
+)
+
+// TestLeaseProtocol drives the coordinator's state machine directly:
+// lowest-pending-first leasing, the wait reply when everything is out,
+// expiry-driven reissue, first-complete-wins dedup, and rejection of
+// stale or damaged results.
+func TestLeaseProtocol(t *testing.T) {
+	base := core.DefaultConfig()
+	coord, err := NewCoordinator(base, tinySpec(), Options{LeaseTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All four cells lease out in ascending index order.
+	for want := 0; want < 4; want++ {
+		reply := coord.lease("w1")
+		if reply.Job == nil || reply.Job.Cell != want {
+			t.Fatalf("lease %d: got %+v, want cell %d", want, reply, want)
+		}
+		if reply.Job.SpecHash != coord.Hash() {
+			t.Fatal("leased job carries the wrong campaign hash")
+		}
+		if reply.Job.Trials != 2 || len(reply.Job.Protocols) != 2 {
+			t.Fatalf("leased job derivation facts wrong: %+v", reply.Job)
+		}
+	}
+	// Nothing pending, nothing done: wait.
+	if reply := coord.lease("w2"); !reply.Wait || reply.RetryMs <= 0 {
+		t.Fatalf("exhausted grid should answer wait+retry, got %+v", reply)
+	}
+
+	// Let every lease expire; the next lease reaps and reissues cell 0.
+	time.Sleep(60 * time.Millisecond)
+	if reply := coord.lease("w2"); reply.Job == nil || reply.Job.Cell != 0 {
+		t.Fatalf("expired leases must reissue from cell 0, got %+v", reply)
+	}
+	if st := coord.Stats(); st.Reissued < 4 {
+		t.Fatalf("reissued %d leases, want all 4 reaped", st.Reissued)
+	}
+
+	// Compute cell 0 for real and post it twice: first wins, second is an
+	// acknowledged duplicate.
+	plan := tinyPlan(t)
+	cr, err := plan.RunCellAt(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, code := coord.result(&ResultPost{SpecHash: coord.Hash(), Worker: "w2", Cell: *cr})
+	if code != http.StatusOK || !reply.OK || reply.Duplicate {
+		t.Fatalf("first result: %+v (%d)", reply, code)
+	}
+	reply, code = coord.result(&ResultPost{SpecHash: coord.Hash(), Worker: "w1", Cell: *cr})
+	if code != http.StatusOK || !reply.OK || !reply.Duplicate {
+		t.Fatalf("second result should be a duplicate ack: %+v (%d)", reply, code)
+	}
+	if st := coord.Stats(); st.Duplicates != 1 || st.Executed != 1 {
+		t.Fatalf("stats after dedup: %+v", st)
+	}
+
+	// A result under a foreign campaign hash is a conflict.
+	_, code = coord.result(&ResultPost{SpecHash: "deadbeef", Worker: "w1", Cell: *cr})
+	if code != http.StatusConflict {
+		t.Fatalf("foreign-hash result answered %d, want 409", code)
+	}
+
+	// A damaged cell is unprocessable and its lease returns to the pool.
+	bad := *cr
+	bad.Index = 1
+	bad.Seed++ // cell 1 with cell 0's (mutated) identity
+	_, code = coord.result(&ResultPost{SpecHash: coord.Hash(), Worker: "w1", Cell: bad})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("damaged result answered %d, want 422", code)
+	}
+	if st := coord.Stats(); len(st.Warnings) == 0 {
+		t.Fatal("rejected result must leave a warning")
+	}
+	status := coord.Status()
+	if status.Done != 1 || status.Complete {
+		t.Fatalf("status after one cell: %+v", status)
+	}
+}
+
+// TestCoordinatorWorkersEndToEnd is the loopback fan-out test: a
+// coordinator behind httptest and two concurrent workers drain the tiny
+// campaign; the folded CSV must equal the uninterrupted golden bytes.
+func TestCoordinatorWorkersEndToEnd(t *testing.T) {
+	base := core.DefaultConfig()
+	golden := goldenCSV(t)
+	dir := t.TempDir()
+
+	coord, err := NewCoordinator(base, tinySpec(), Options{
+		Checkpoint: dir,
+		Poll:       10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	executed := make([]int, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w, err := NewWorker(base, tinySpec(), srv.URL, 1, Options{Poll: 10 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			executed[i], errs[i] = w.Run(ctx)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("workers exited but the campaign is not complete")
+	}
+	if got := executed[0] + executed[1]; got != 4 {
+		t.Fatalf("workers executed %d cells total, want 4", got)
+	}
+	stats := coord.Stats()
+	if stats.Executed != 4 || stats.Resumed != 0 {
+		t.Fatalf("coordinator stats: %+v", stats)
+	}
+	if got := coord.Campaign().CSV(); got != golden {
+		t.Fatalf("distributed campaign CSV drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+
+	// A late-joining worker on the finished campaign exits at once with
+	// zero work.
+	late, err := NewWorker(base, tinySpec(), srv.URL, 1, Options{Poll: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := late.Run(ctx)
+	if err != nil || n != 0 {
+		t.Fatalf("late worker: executed %d, err %v", n, err)
+	}
+
+	// The coordinator checkpointed every cell: a resumed in-process run
+	// recomputes nothing and renders the same bytes.
+	camp, rstats, err := Run(base, tinySpec(), 4, Options{Checkpoint: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Resumed != 4 || rstats.Executed != 0 {
+		t.Fatalf("resume from coordinator checkpoints: %+v", rstats)
+	}
+	if camp.CSV() != golden {
+		t.Fatal("resume from coordinator checkpoints drifted from golden")
+	}
+}
+
+// TestCoordinatorResumesFromCheckpoints verifies resumed cells are born
+// done and never leased.
+func TestCoordinatorResumesFromCheckpoints(t *testing.T) {
+	base := core.DefaultConfig()
+	dir := t.TempDir()
+	plan := tinyPlan(t)
+	store, err := OpenStore(dir, plan.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.RunCells([]int{0, 1, 2}, 4, func(cr *sweep.CellResult) {
+		if err := store.Put(cr); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(base, tinySpec(), Options{Checkpoint: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := coord.Stats(); st.Resumed != 3 {
+		t.Fatalf("coordinator resumed %d cells, want 3", st.Resumed)
+	}
+	if reply := coord.lease("w1"); reply.Job == nil || reply.Job.Cell != 3 {
+		t.Fatalf("only cell 3 should lease, got %+v", reply)
+	}
+}
+
+// TestWorkerRefusesStaleCampaign locks the stale-worker interlock: a
+// worker resolved from different flags must refuse the job before
+// computing anything.
+func TestWorkerRefusesStaleCampaign(t *testing.T) {
+	base := core.DefaultConfig()
+	coord, err := NewCoordinator(base, tinySpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	staleSpec := tinySpec()
+	staleSpec.Seed = 99 // different campaign identity
+	w, err := NewWorker(base, staleSpec, srv.URL, 1, Options{Poll: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "stale worker") {
+		t.Fatalf("want a stale-worker error, got n=%d err=%v", n, err)
+	}
+	if n != 0 {
+		t.Fatalf("stale worker executed %d cells, want 0", n)
+	}
+}

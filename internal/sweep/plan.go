@@ -1,0 +1,215 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/exper"
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// Plan is a validated campaign lowered onto a base configuration and
+// frozen: the expanded grid, the resolved seed/trial/protocol identity,
+// and a content hash over all of it. A Plan is the unit two processes can
+// agree on — a coordinator and its workers each build one from the same
+// spec and base configuration and compare hashes before exchanging work,
+// and a checkpoint store binds its files to the hash so cells computed
+// under a different campaign are rejected instead of silently merged.
+type Plan struct {
+	r    *resolved
+	hash string
+}
+
+// NewPlan validates and resolves the spec against the base configuration
+// and fingerprints the result. The same (base, spec) pair always produces
+// the same hash; any change that could alter a single cell's bytes — an
+// axis value, the seed, the trial count, a protocol, a base-configuration
+// parameter — produces a different one.
+func NewPlan(base core.Config, s *Spec) (*Plan, error) {
+	r, err := resolve(base, s)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror resolve: the campaign owns dynamics configuration, so the
+	// ambient churn flag and scenario never participate in the identity.
+	base.ChurnEnabled = false
+	base.Scenario = nil
+	h, err := fingerprint(base, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{r: r, hash: h}, nil
+}
+
+// fingerprint content-addresses the campaign: a SHA-256 over the canonical
+// JSON of the spec, the resolved seed/trials/protocol set, and the
+// dynamics-cleared base configuration (every field of which can move cell
+// bytes). Struct fields marshal in declaration order and the config holds
+// no maps, so the encoding — and therefore the hash — is deterministic.
+func fingerprint(base core.Config, r *resolved) (string, error) {
+	payload := struct {
+		Spec      *Spec       `json:"spec"`
+		Seed      int64       `json:"seed"`
+		Trials    int         `json:"trials"`
+		Protocols []string    `json:"protocols"`
+		Base      core.Config `json:"base"`
+	}{r.spec, r.seed, r.trials, r.names, base}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("sweep: fingerprinting campaign %q: %w", r.spec.Name, err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Hash returns the campaign's content hash (64 hex characters).
+func (p *Plan) Hash() string { return p.hash }
+
+// Spec returns the plan's campaign definition.
+func (p *Plan) Spec() *Spec { return p.r.spec }
+
+// Seed returns the resolved campaign root seed.
+func (p *Plan) Seed() int64 { return p.r.seed }
+
+// Trials returns the resolved replication count per cell.
+func (p *Plan) Trials() int { return p.r.trials }
+
+// Protocols returns the resolved protocol set in campaign order.
+func (p *Plan) Protocols() []string {
+	out := make([]string, len(p.r.names))
+	copy(out, p.r.names)
+	return out
+}
+
+// NumCells returns the grid size.
+func (p *Plan) NumCells() int { return len(p.r.cells) }
+
+// Cells returns the expanded grid in index order.
+func (p *Plan) Cells() []Cell {
+	out := make([]Cell, len(p.r.cells))
+	copy(out, p.r.cells)
+	return out
+}
+
+// NewCampaign returns an empty campaign shell for this plan: identity
+// fields filled, one CellResult per grid cell carrying its Cell identity
+// with no protocol aggregates yet. Callers fill Cells[i] as results arrive
+// (from RunCells, a checkpoint store, or remote workers) — the grid is
+// index-addressed, so arrival order never changes the exported bytes.
+func (p *Plan) NewCampaign() *Campaign {
+	camp := &Campaign{
+		Spec: p.r.spec, Seed: p.r.seed, Trials: p.r.trials, Protocols: p.Protocols(),
+		Cells: make([]CellResult, len(p.r.cells)),
+	}
+	for i, c := range p.r.cells {
+		camp.Cells[i] = CellResult{Cell: c}
+	}
+	return camp
+}
+
+// VerifyCell checks that a cell result (typically deserialized from a
+// checkpoint file or a remote worker) carries this plan's identity for its
+// index: matching seed and coordinates, the campaign's protocol set in
+// order, and trial pools of the campaign's size. It reports the first
+// mismatch — a corrupted or foreign result — so callers can discard the
+// cell and recompute it instead of folding bad data into the campaign.
+func (p *Plan) VerifyCell(cr *CellResult) error {
+	if cr == nil {
+		return fmt.Errorf("sweep %q: nil cell result", p.r.spec.Name)
+	}
+	if cr.Index < 0 || cr.Index >= len(p.r.cells) {
+		return fmt.Errorf("sweep %q: cell index %d out of range [0, %d)", p.r.spec.Name, cr.Index, len(p.r.cells))
+	}
+	want := p.r.cells[cr.Index]
+	if cr.Seed != want.Seed {
+		return fmt.Errorf("sweep %q cell %d: seed %d, want %d", p.r.spec.Name, cr.Index, cr.Seed, want.Seed)
+	}
+	if cr.Label() != want.Label() {
+		return fmt.Errorf("sweep %q cell %d: coordinates %q, want %q", p.r.spec.Name, cr.Index, cr.Label(), want.Label())
+	}
+	if len(cr.Protocols) != len(p.r.names) {
+		return fmt.Errorf("sweep %q cell %d: %d protocol aggregates, want %d", p.r.spec.Name, cr.Index, len(cr.Protocols), len(p.r.names))
+	}
+	for i, pc := range cr.Protocols {
+		if pc.Protocol != p.r.names[i] {
+			return fmt.Errorf("sweep %q cell %d: protocol %d is %q, want %q", p.r.spec.Name, cr.Index, i, pc.Protocol, p.r.names[i])
+		}
+		if pc.Summary.SuccessRate.N != p.r.trials {
+			return fmt.Errorf("sweep %q cell %d: %s pools %d trials, want %d", p.r.spec.Name, cr.Index, pc.Protocol, pc.Summary.SuccessRate.N, p.r.trials)
+		}
+	}
+	return nil
+}
+
+// RunCells executes a subset of the grid — any selection of cell indexes —
+// across a worker pool bounded by workers (<= 0 means one per CPU) and
+// delivers each completed cell to sink in ascending subset order. The
+// (cell × protocol × trial) jobs of the whole subset share one pool, so a
+// two-cell resume still saturates the machine. The fold is the full
+// campaign's fold restricted to the subset: jobs dispatch and deliver in
+// index order, trials fold into per-(cell, protocol) accumulators, and a
+// cell sinks when its last protocol aggregate collapses — so every sunk
+// CellResult is byte-identical to the cell's entry in an unrestricted Run.
+func (p *Plan) RunCells(cells []int, workers int, sink func(*CellResult)) error {
+	r := p.r
+	for _, c := range cells {
+		if c < 0 || c >= len(r.cells) {
+			return fmt.Errorf("sweep %q: cell %d out of range [0, %d)", r.spec.Name, c, len(r.cells))
+		}
+	}
+	nProtos := len(r.behaviors)
+	perCell := nProtos * r.trials
+	n := len(cells) * perCell
+	building := make([]*CellResult, len(cells))
+	accs := make([][]*core.RunResult, len(cells)*nProtos)
+	exper.Stream(n, workers, func(j int) *core.RunResult {
+		pos := j / perCell
+		rem := j % perCell
+		proto := rem / r.trials
+		trial := rem % r.trials
+		cell := cells[pos]
+		cfg := r.cellCfgs[cell]
+		cfg.Seed = sim.TrialSeed(r.cells[cell].Seed, trial)
+		return core.NewSimulation(cfg, r.behaviors[proto]).RunMeasured(r.spec.Warmup, r.spec.Queries)
+	}, func(j int, run *core.RunResult) {
+		pos := j / perCell
+		proto := (j % perCell) / r.trials
+		k := pos*nProtos + proto
+		accs[k] = append(accs[k], run)
+		if len(accs[k]) < r.trials {
+			return
+		}
+		if building[pos] == nil {
+			cell := cells[pos]
+			building[pos] = &CellResult{Cell: r.cells[cell], Protocols: make([]ProtocolCell, nProtos)}
+		}
+		building[pos].Protocols[proto] = ProtocolCell{
+			Protocol: r.names[proto],
+			Summary:  core.SummarizeTrials(accs[k]),
+			Phases:   core.AggregateRunPhases(accs[k]),
+		}
+		accs[k] = nil
+		// Delivery is index-ordered, so the last protocol completing means
+		// every earlier one already has.
+		if proto == nProtos-1 {
+			cr := building[pos]
+			building[pos] = nil
+			sink(cr)
+		}
+	})
+	return nil
+}
+
+// RunCellAt executes one grid cell through the subset runner and returns
+// its aggregate — the exact bytes a full Run would place at that index.
+// This is the unit of work a campaign worker executes per lease.
+func (p *Plan) RunCellAt(cell, workers int) (*CellResult, error) {
+	var out *CellResult
+	if err := p.RunCells([]int{cell}, workers, func(cr *CellResult) { out = cr }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

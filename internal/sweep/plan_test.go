@@ -1,0 +1,170 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/p2prepro/locaware/internal/core"
+)
+
+// TestPlanHash locks the content-addressing contract: the hash is stable
+// for identical (base, spec) inputs and moves whenever anything that
+// could change a cell's bytes moves — spec shape, seed, trials,
+// protocols, or the base configuration.
+func TestPlanHash(t *testing.T) {
+	base := core.DefaultConfig()
+	p1, err := NewPlan(base, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlan(base, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Hash() != p2.Hash() {
+		t.Fatalf("hash unstable: %s vs %s", p1.Hash(), p2.Hash())
+	}
+	if len(p1.Hash()) != 64 {
+		t.Fatalf("hash %q is not a sha256 hex digest", p1.Hash())
+	}
+
+	distinct := map[string]string{p1.Hash(): "baseline"}
+	check := func(label string, base core.Config, s *Spec) {
+		t.Helper()
+		p, err := NewPlan(base, s)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if prev, ok := distinct[p.Hash()]; ok {
+			t.Fatalf("%s collides with %s: %s", label, prev, p.Hash())
+		}
+		distinct[p.Hash()] = label
+	}
+
+	s := tinySpec()
+	s.Seed = 99
+	check("different seed", base, s)
+
+	s = tinySpec()
+	s.Trials = 3
+	check("different trials", base, s)
+
+	s = tinySpec()
+	s.Protocols = []string{"Dicas"}
+	check("different protocols", base, s)
+
+	s = tinySpec()
+	s.Axes[0].Values = []float64{60, 91}
+	check("different axis values", base, s)
+
+	b := base
+	b.Protocol.TTL = 5
+	check("different base TTL", b, tinySpec())
+}
+
+// TestPlanHashIgnoresAmbientDynamics asserts the campaign-owns-dynamics
+// rule carries into the identity: the legacy churn flag and an ambient
+// scenario on the base configuration are cleared by resolve, so they must
+// not move the hash either.
+func TestPlanHashIgnoresAmbientDynamics(t *testing.T) {
+	base := core.DefaultConfig()
+	p1, err := NewPlan(base, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := base
+	b.ChurnEnabled = true
+	p2, err := NewPlan(b, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Hash() != p2.Hash() {
+		t.Fatal("ambient churn flag moved the campaign hash; resolve clears it, so the hash must too")
+	}
+}
+
+// TestPlanRunCellsSubset locks the distributed-unit contract: any subset
+// of cells run through Plan.RunCells reproduces the corresponding cells
+// of a full Run bit for bit, and sinks them in ascending subset order.
+func TestPlanRunCellsSubset(t *testing.T) {
+	base := core.DefaultConfig()
+	spec := tinySpec()
+	camp, err := Run(base, spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(base, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := []int{1, 3}
+	var got []*CellResult
+	if err := p.RunCells(subset, 4, func(cr *CellResult) { got = append(got, cr) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(subset) {
+		t.Fatalf("sank %d cells, want %d", len(got), len(subset))
+	}
+	for i, cr := range got {
+		if cr.Index != subset[i] {
+			t.Fatalf("sink order: position %d got cell %d, want %d", i, cr.Index, subset[i])
+		}
+		if !reflect.DeepEqual(*cr, camp.Cells[cr.Index]) {
+			t.Fatalf("subset cell %d drifted from the full run:\nsubset: %+v\nfull:   %+v",
+				cr.Index, *cr, camp.Cells[cr.Index])
+		}
+	}
+
+	// The single-cell wrapper is the worker's unit of work.
+	cr, err := p.RunCellAt(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*cr, camp.Cells[2]) {
+		t.Fatal("RunCellAt drifted from the full run")
+	}
+
+	if err := p.RunCells([]int{7}, 1, func(*CellResult) {}); err == nil {
+		t.Fatal("out-of-range subset must error")
+	}
+}
+
+// TestPlanVerifyCell exercises the integrity checks a deserialized cell
+// passes through before being folded into a campaign.
+func TestPlanVerifyCell(t *testing.T) {
+	base := core.DefaultConfig()
+	p, err := NewPlan(base, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := p.RunCellAt(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VerifyCell(cr); err != nil {
+		t.Fatalf("genuine cell must verify: %v", err)
+	}
+	bad := []struct {
+		label  string
+		mutate func(*CellResult)
+	}{
+		{"nil protocols", func(c *CellResult) { c.Protocols = nil }},
+		{"wrong seed", func(c *CellResult) { c.Seed++ }},
+		{"out of range", func(c *CellResult) { c.Index = 99 }},
+		{"wrong coordinates", func(c *CellResult) { c.Coords[0].Value = 1234 }},
+		{"wrong protocol name", func(c *CellResult) { c.Protocols[0].Protocol = "Chord" }},
+		{"wrong trial pool", func(c *CellResult) { c.Protocols[1].Summary.SuccessRate.N = 7 }},
+	}
+	for _, tc := range bad {
+		clone := *cr
+		clone.Coords = append([]Coordinate(nil), cr.Coords...)
+		clone.Protocols = append([]ProtocolCell(nil), cr.Protocols...)
+		tc.mutate(&clone)
+		if err := p.VerifyCell(&clone); err == nil {
+			t.Fatalf("%s must fail verification", tc.label)
+		}
+	}
+	if err := p.VerifyCell(nil); err == nil {
+		t.Fatal("nil cell must fail verification")
+	}
+}

@@ -5,10 +5,8 @@ import (
 	"time"
 
 	"github.com/p2prepro/locaware/internal/core"
-	"github.com/p2prepro/locaware/internal/exper"
 	"github.com/p2prepro/locaware/internal/metrics"
 	"github.com/p2prepro/locaware/internal/protocol"
-	"github.com/p2prepro/locaware/internal/sim"
 )
 
 // ProtocolCell is one protocol's replicated result at one grid point: the
@@ -138,53 +136,27 @@ func resolve(base core.Config, s *Spec) (*resolved, error) {
 // identical for every worker count: jobs are index-addressed, folded in
 // index order, and each trial's seed depends only on (campaign seed,
 // cell index, trial index).
+//
+// Run is the whole-grid case of Plan.RunCells: every finished run streams
+// in index order into its (cell, protocol) accumulator and collapses into
+// the final aggregate immediately, so at most O(workers) undelivered
+// results plus one cell-row of pending accumulators are alive at any
+// point. The campaign layer (internal/campaign) uses the same Plan to run
+// arbitrary subsets — resumed or distributed — with identical bytes.
 func Run(base core.Config, s *Spec, workers int) (*Campaign, error) {
-	r, err := resolve(base, s)
+	p, err := NewPlan(base, s)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	nProtos := len(r.behaviors)
-	perCell := nProtos * r.trials
-	n := len(r.cells) * perCell
-
-	camp := &Campaign{
-		Spec: s, Seed: r.seed, Trials: r.trials, Protocols: r.names,
-		Cells: make([]CellResult, len(r.cells)),
+	camp := p.NewCampaign()
+	all := make([]int, p.NumCells())
+	for i := range all {
+		all[i] = i
 	}
-	for i, c := range r.cells {
-		camp.Cells[i] = CellResult{Cell: c, Protocols: make([]ProtocolCell, nProtos)}
+	if err := p.RunCells(all, workers, func(cr *CellResult) { camp.Cells[cr.Index] = *cr }); err != nil {
+		return nil, err
 	}
-
-	// Streamed aggregation: every finished run arrives in index order, is
-	// folded into its (cell, protocol) accumulator, and — once the
-	// accumulator holds all trials — collapses into the final aggregate so
-	// the run results (and their collectors) become garbage immediately.
-	// At most O(workers) undelivered results plus one cell-row of pending
-	// accumulators are alive at any point.
-	accs := make([][]*core.RunResult, len(r.cells)*nProtos)
-	exper.Stream(n, workers, func(j int) *core.RunResult {
-		cell := j / perCell
-		rem := j % perCell
-		proto := rem / r.trials
-		trial := rem % r.trials
-		cfg := r.cellCfgs[cell]
-		cfg.Seed = sim.TrialSeed(r.cells[cell].Seed, trial)
-		return core.NewSimulation(cfg, r.behaviors[proto]).RunMeasured(s.Warmup, s.Queries)
-	}, func(j int, run *core.RunResult) {
-		cell := j / perCell
-		proto := (j % perCell) / r.trials
-		k := cell*nProtos + proto
-		accs[k] = append(accs[k], run)
-		if len(accs[k]) == r.trials {
-			camp.Cells[cell].Protocols[proto] = ProtocolCell{
-				Protocol: r.names[proto],
-				Summary:  core.SummarizeTrials(accs[k]),
-				Phases:   core.AggregateRunPhases(accs[k]),
-			}
-			accs[k] = nil
-		}
-	})
 	camp.Elapsed = time.Since(start)
 	return camp, nil
 }
