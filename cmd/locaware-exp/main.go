@@ -64,6 +64,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -97,6 +98,9 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		stats      = flag.Bool("stats", false, "print a runtime observability report (event loop, protocol, pools) after the experiment")
+		progress   = flag.Duration("progress", 0, "with -sweep campaigns: print one progress summary per interval (done/leased/ETA) instead of per-cell lines, e.g. -progress 5s")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics and /debug/pprof/ on this address (host:port) for the lifetime of the process; the -serve coordinator exposes them on its own address automatically")
 	)
 	flag.Parse()
 
@@ -123,6 +127,23 @@ func main() {
 	opts.Workers = *workers
 	opts.Shards = *shards
 
+	// Observability is inert, so attach it whenever any sink wants it:
+	// the -stats report, a standalone -obs-addr scrape surface, or the
+	// campaign endpoints (coordinator /metrics, worker delta posts).
+	if *stats || *obsAddr != "" || *serve != "" || *workerURL != "" {
+		observer = locaware.NewObserver()
+		statsMode = *stats
+		opts.Observer = observer
+	}
+	if *obsAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "locaware-exp: serving /metrics and /debug/pprof/ on", *obsAddr)
+			if err := http.ListenAndServe(*obsAddr, observer.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "locaware-exp: obs server:", err)
+			}
+		}()
+	}
+
 	switch {
 	case *fig != "":
 		runFigures(opts, *fig, *warmup, *queries, *csv)
@@ -136,6 +157,7 @@ func main() {
 		dist := distOpts{
 			serve: *serve, worker: *workerURL,
 			checkpoint: *checkpoint, resume: *resume, lease: *leaseT,
+			progress: *progress,
 		}
 		runSweep(opts, *sweepArg, *out, setFlags(), *warmup, *queries, dist)
 	case *serve != "" || *workerURL != "" || *checkpoint != "":
@@ -144,7 +166,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if statsMode {
+		fmt.Println("\n== Runtime metrics (Prometheus text exposition)")
+		if err := observer.WriteMetrics(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 }
+
+// observer / statsMode hold the process-wide observability surface when
+// any of -stats, -obs-addr, -serve or -worker enables it.
+var (
+	observer  *locaware.Observer
+	statsMode bool
+)
 
 // setFlags reports which flags were given explicitly on the command line —
 // sweep specs carry their own trials/seed/warmup/queries, so flag defaults
@@ -209,6 +244,7 @@ type distOpts struct {
 	checkpoint string
 	resume     bool
 	lease      time.Duration
+	progress   time.Duration
 }
 
 func (d distOpts) enabled() bool { return d.serve != "" || d.worker != "" || d.checkpoint != "" }
@@ -263,6 +299,8 @@ func runSweep(opts locaware.Options, arg, outDir string, set map[string]bool, wa
 		Checkpoint:   dist.checkpoint,
 		Resume:       dist.resume,
 		LeaseTimeout: dist.lease,
+		Observer:     observer,
+		Progress:     dist.progress,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("campaign: "+format+"\n", args...)
 		},
@@ -412,6 +450,14 @@ func runFigures(opts locaware.Options, which string, warmup, queries int, csv bo
 			fmt.Printf("%-12s success=%s msgs/q=%s rtt=%sms sameLoc=%s gossip=%.0f msgs\n",
 				r.Protocol, r.SuccessRate, r.AvgMessagesPerQuery, r.AvgDownloadRTTMs,
 				r.SameLocalityRate, r.ControlMessages.Mean)
+		}
+	}
+	if statsMode {
+		for _, r := range cmp.Sets {
+			if len(r.Trials) > 0 && r.Trials[0].Runtime != nil {
+				fmt.Printf("\n== %s (trial 0) ", r.Protocol)
+				fmt.Print(r.Trials[0].Runtime.Report())
+			}
 		}
 	}
 }

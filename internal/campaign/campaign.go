@@ -2,9 +2,11 @@ package campaign
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/sweep"
 )
 
@@ -26,6 +28,17 @@ type Options struct {
 	// Logf receives human-facing progress lines (resume counts, lease
 	// reissues, per-cell completion); nil discards them.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, attaches the observability registry: the
+	// coordinator serves it on /metrics (plus pprof) and absorbs worker
+	// counter deltas into it; a worker instruments its cell runs with it
+	// and posts per-cell deltas; the in-process runner instruments its
+	// cell runs. Instrumentation never changes campaign bytes or the
+	// campaign content hash.
+	Obs *obs.Registry
+	// Progress, when > 0, replaces per-cell completion lines with one
+	// summary line per interval (done/leased/resumed/reissued counts,
+	// EWMA rate, ETA) on Logf.
+	Progress time.Duration
 }
 
 // DefaultLeaseTimeout is the lease deadline when Options.LeaseTimeout is
@@ -160,11 +173,28 @@ func (pr *prepared) missing() []int {
 // returned stats carry the resumed/executed split the resume contract is
 // tested against.
 func Run(base core.Config, spec *sweep.Spec, workers int, opt Options) (*sweep.Campaign, RunStats, error) {
+	if opt.Obs != nil {
+		// Instrument every cell run; Obs is excluded from the content
+		// hash, so resumability and checkpoint identity are unchanged.
+		base.Obs = opt.Obs
+	}
 	pr, err := prepare(base, spec, opt)
 	if err != nil {
 		return nil, RunStats{}, err
 	}
 	start := time.Now()
+	var done atomic.Int64
+	done.Store(int64(pr.stats.Resumed))
+	if opt.Progress > 0 {
+		stop := make(chan struct{})
+		finished := make(chan struct{})
+		go func() {
+			defer close(finished)
+			runProgressLoop(opt, pr.stats, &done, stop)
+		}()
+		// Wait the ticker out so no Logf call outlives Run.
+		defer func() { close(stop); <-finished }()
+	}
 	var putErr error
 	err = pr.plan.RunCells(pr.missing(), workers, func(cr *sweep.CellResult) {
 		if pr.store != nil {
@@ -174,6 +204,7 @@ func Run(base core.Config, spec *sweep.Spec, workers int, opt Options) (*sweep.C
 		}
 		pr.camp.Cells[cr.Index] = *cr
 		pr.stats.Executed++
+		done.Add(1)
 	})
 	if err == nil {
 		err = putErr
@@ -183,4 +214,30 @@ func Run(base core.Config, spec *sweep.Spec, workers int, opt Options) (*sweep.C
 	}
 	pr.camp.Elapsed = time.Since(start)
 	return pr.camp, pr.stats, nil
+}
+
+// runProgressLoop is the in-process analogue of the coordinator's
+// progress summary: one line per interval with completion, rate and ETA,
+// until the runner closes stop.
+func runProgressLoop(opt Options, stats RunStats, done *atomic.Int64, stop <-chan struct{}) {
+	rate := obs.NewRateEWMA(0)
+	t := time.NewTicker(opt.Progress)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			d := done.Load()
+			rate.Observe(float64(d), now)
+			line := fmt.Sprintf("progress: %d/%d done (%d resumed)", d, stats.Cells, stats.Resumed)
+			if r := rate.Rate(); r > 0 {
+				line += fmt.Sprintf(", %.2f cells/s", r)
+			}
+			if eta, ok := rate.ETA(float64(stats.Cells) - float64(d)); ok {
+				line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+			}
+			opt.logf("%s", line)
+		}
+	}
 }

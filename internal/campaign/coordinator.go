@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/sweep"
 )
 
@@ -48,6 +49,11 @@ type Coordinator struct {
 	complete  bool
 	start     time.Time
 	done      chan struct{}
+
+	workers map[string]*workerInfo
+	rate    *obs.RateEWMA
+	reg     *obs.Registry
+	instr   *coordInstr
 }
 
 // NewCoordinator resolves the campaign, loads any resumable checkpoints
@@ -68,6 +74,11 @@ func NewCoordinator(base core.Config, spec *sweep.Spec, opt Options) (*Coordinat
 		holder:       make([]string, pr.stats.Cells),
 		start:        time.Now(),
 		done:         make(chan struct{}),
+		workers:      make(map[string]*workerInfo),
+		rate:         obs.NewRateEWMA(0),
+	}
+	if opt.Obs != nil {
+		c.enableObs(opt.Obs)
 	}
 	for i, d := range pr.done {
 		if d {
@@ -122,16 +133,19 @@ func (c *Coordinator) Stats() RunStats {
 func (c *Coordinator) Status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.reapLocked(time.Now())
+	now := time.Now()
+	c.reapLocked(now)
 	st := Status{
-		SpecHash:   c.pr.plan.Hash(),
-		Name:       c.pr.plan.Spec().Name,
-		Cells:      len(c.state),
-		Done:       c.doneCount,
-		Resumed:    c.pr.stats.Resumed,
-		Reissued:   c.pr.stats.Reissued,
-		Duplicates: c.pr.stats.Duplicates,
-		Complete:   c.complete,
+		SpecHash:      c.pr.plan.Hash(),
+		Name:          c.pr.plan.Spec().Name,
+		Cells:         len(c.state),
+		Done:          c.doneCount,
+		Resumed:       c.pr.stats.Resumed,
+		Reissued:      c.pr.stats.Reissued,
+		Duplicates:    c.pr.stats.Duplicates,
+		Complete:      c.complete,
+		UptimeSeconds: now.Sub(c.start).Seconds(),
+		Workers:       c.workerStatusLocked(now),
 	}
 	for _, s := range c.state {
 		switch s {
@@ -150,6 +164,12 @@ func (c *Coordinator) reapLocked(now time.Time) {
 		if st == cellLeased && now.After(c.expiry[i]) {
 			c.state[i] = cellPending
 			c.pr.stats.Reissued++
+			if w := c.workers[c.holder[i]]; w != nil {
+				w.expired++
+			}
+			if c.instr != nil {
+				c.instr.reissued.Inc()
+			}
 			c.opt.logf("lease on cell %d (worker %q) expired after %s; reissuing", i, c.holder[i], c.leaseTimeout)
 		}
 	}
@@ -162,6 +182,7 @@ func (c *Coordinator) lease(worker string) LeaseReply {
 	defer c.mu.Unlock()
 	now := time.Now()
 	c.reapLocked(now)
+	c.touchWorkerLocked(worker, now)
 	if c.doneCount == len(c.state) {
 		return LeaseReply{Done: true}
 	}
@@ -178,6 +199,9 @@ func (c *Coordinator) lease(worker string) LeaseReply {
 	c.state[idx] = cellLeased
 	c.expiry[idx] = now.Add(c.leaseTimeout)
 	c.holder[idx] = worker
+	if c.instr != nil {
+		c.instr.leases.Inc()
+	}
 	cells := c.pr.plan.Cells()
 	return LeaseReply{
 		Job: &Job{
@@ -214,8 +238,13 @@ func (c *Coordinator) result(post *ResultPost) (ResultReply, int) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := time.Now()
+	w := c.touchWorkerLocked(post.Worker, now)
 	if c.state[cr.Index] == cellDone {
 		c.pr.stats.Duplicates++
+		if c.instr != nil {
+			c.instr.duplicates.Inc()
+		}
 		c.opt.logf("duplicate result for cell %d from worker %q discarded (first complete wins)", cr.Index, post.Worker)
 		return ResultReply{OK: true, Duplicate: true}, http.StatusOK
 	}
@@ -232,7 +261,18 @@ func (c *Coordinator) result(post *ResultPost) (ResultReply, int) {
 	c.state[cr.Index] = cellDone
 	c.doneCount++
 	c.pr.stats.Executed++
-	c.opt.logf("cell %d done (%d/%d, worker %q)", cr.Index, c.doneCount, len(c.state), post.Worker)
+	if w != nil {
+		w.cells++
+	}
+	if c.instr != nil {
+		c.instr.executed.Inc()
+	}
+	c.rate.Observe(float64(c.doneCount), now)
+	// With a progress interval the periodic summary replaces the
+	// per-cell completion lines.
+	if c.opt.Progress <= 0 {
+		c.opt.logf("cell %d done (%d/%d, worker %q)", cr.Index, c.doneCount, len(c.state), post.Worker)
+	}
 	if c.doneCount == len(c.state) {
 		c.completeLocked()
 	}
@@ -262,11 +302,20 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		reply, code := c.result(&post)
+		// Fold the worker's run-level counter deltas in only when this
+		// result was the one accepted: the absorbed totals then match
+		// what one uninterrupted in-process sweep would have produced.
+		if c.reg != nil && reply.OK && !reply.Duplicate && len(post.Obs) > 0 {
+			c.reg.AbsorbCounters(post.Obs)
+		}
 		writeJSON(w, code, reply)
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Status())
 	})
+	if c.reg != nil {
+		obs.RegisterOn(mux, c.reg)
+	}
 	return mux
 }
 
@@ -288,6 +337,16 @@ func (c *Coordinator) Serve(addr string) (*sweep.Campaign, RunStats, error) {
 	c.opt.logf("coordinator serving campaign %s (%q, %d cells, %d resumed) on http://%s",
 		shortHash(c.Hash()), c.pr.plan.Spec().Name, c.NumCells(), c.Stats().Resumed, l.Addr())
 	srv := &http.Server{Handler: c.Handler()}
+	if c.opt.Progress > 0 {
+		finished := make(chan struct{})
+		go func() {
+			defer close(finished)
+			c.progressLoop(c.opt.Progress)
+		}()
+		// The loop exits when the campaign completes; wait it out so no
+		// Logf call outlives Serve.
+		defer func() { <-finished }()
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {

@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/sweep"
 )
 
@@ -102,6 +103,12 @@ type ResultPost struct {
 	Worker string `json:"worker,omitempty"`
 	// Cell is the fully aggregated cell result.
 	Cell sweep.CellResult `json:"cell"`
+	// Obs carries the worker's counter deltas for this cell — the change
+	// in its observability registry across the cell's runs. Optional;
+	// the coordinator absorbs the samples of the accepted result into
+	// its own registry, so coordinator /metrics totals match what one
+	// in-process sweep would have reported.
+	Obs []obs.Sample `json:"obs,omitempty"`
 }
 
 // ResultReply is the coordinator's answer to a posted result.
@@ -136,4 +143,23 @@ type Status struct {
 	Duplicates int `json:"duplicates"`
 	// Complete reports whether every cell is done.
 	Complete bool `json:"complete"`
+	// UptimeSeconds is how long the coordinator has been serving.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Workers lists every worker that has contacted the coordinator,
+	// sorted by ID.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
+// WorkerStatus is one worker's row in the coordinator's /status
+// document.
+type WorkerStatus struct {
+	// ID is the worker's self-assigned identity (hostname-pid).
+	ID string `json:"id"`
+	// LastSeenSecs is the age of the worker's last lease or result.
+	LastSeenSecs float64 `json:"last_seen_secs"`
+	// Cells counts results from this worker that were accepted.
+	Cells int `json:"cells"`
+	// Expired counts this worker's leases that timed out and were
+	// reissued.
+	Expired int `json:"expired"`
 }

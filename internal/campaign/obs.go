@@ -1,0 +1,190 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/obs"
+)
+
+// Campaign metric family names. Counters accumulate over the
+// coordinator's lifetime; the cell-partition gauges are computed at
+// scrape time from the lease table, so /metrics never disagrees with
+// /status.
+const (
+	MetricCells          = "campaign_cells"
+	MetricCellsDone      = "campaign_cells_done"
+	MetricCellsLeased    = "campaign_cells_leased"
+	MetricCellsPending   = "campaign_cells_pending"
+	MetricCellsResumed   = "campaign_cells_resumed"
+	MetricCellsExecuted  = "campaign_cells_executed_total"
+	MetricLeasesIssued   = "campaign_leases_issued_total"
+	MetricLeasesReissued = "campaign_leases_reissued_total"
+	MetricDuplicates     = "campaign_results_duplicate_total"
+	MetricCheckpointHits = "campaign_checkpoint_hits_total"
+	MetricWorkersLive    = "campaign_workers_live"
+	MetricCellsPerSec    = "campaign_cells_per_second"
+	MetricUptime         = "campaign_uptime_seconds"
+)
+
+// RegisterMetrics pre-registers the campaign counter families, so a
+// scrape before the first lease still advertises the catalog. The
+// scrape-time gauges (cell partition, workers, uptime, rate) are bound
+// to a live coordinator by enableObs and only exist there.
+func RegisterMetrics(reg *obs.Registry) {
+	reg.Counter(MetricCellsExecuted, "cells computed and folded this run")
+	reg.Counter(MetricLeasesIssued, "cell leases handed to workers")
+	reg.Counter(MetricLeasesReissued, "expired leases handed out again")
+	reg.Counter(MetricDuplicates, "double results discarded (first complete wins)")
+	reg.Counter(MetricCheckpointHits, "cells restored from the checkpoint store")
+}
+
+// coordInstr holds the coordinator's pre-resolved counter handles;
+// increments are pure atomics, safe under the coordinator mutex.
+type coordInstr struct {
+	executed   *obs.Counter
+	leases     *obs.Counter
+	reissued   *obs.Counter
+	duplicates *obs.Counter
+	ckptHits   *obs.Counter
+}
+
+// workerInfo tracks one worker's liveness and contribution, keyed by the
+// self-assigned worker ID on /lease and /result.
+type workerInfo struct {
+	lastSeen time.Time
+	cells    int
+	expired  int
+}
+
+// enableObs binds the campaign instrumentation to reg: counter handles,
+// scrape-time gauges over the lease table, and the full sim/protocol
+// family catalog so the coordinator's /metrics shows every family a
+// worker may report into before the first result arrives. Called from
+// the constructor, before the coordinator is shared.
+func (c *Coordinator) enableObs(reg *obs.Registry) {
+	c.reg = reg
+	core.RegisterObsFamilies(reg)
+	RegisterMetrics(reg)
+	c.instr = &coordInstr{
+		executed:   reg.Counter(MetricCellsExecuted, ""),
+		leases:     reg.Counter(MetricLeasesIssued, ""),
+		reissued:   reg.Counter(MetricLeasesReissued, ""),
+		duplicates: reg.Counter(MetricDuplicates, ""),
+		ckptHits:   reg.Counter(MetricCheckpointHits, ""),
+	}
+	c.instr.ckptHits.Add(uint64(c.pr.stats.Resumed))
+	reg.GaugeFunc(MetricCells, "campaign grid size", func() float64 {
+		return float64(c.NumCells())
+	})
+	reg.GaugeFunc(MetricCellsDone, "cells complete (resumed + executed)", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.doneCount)
+	})
+	reg.GaugeFunc(MetricCellsLeased, "cells currently leased out", c.countStateFn(cellLeased))
+	reg.GaugeFunc(MetricCellsPending, "cells waiting for a worker", c.countStateFn(cellPending))
+	reg.GaugeFunc(MetricCellsResumed, "cells restored from checkpoints at startup", func() float64 {
+		return float64(c.pr.stats.Resumed)
+	})
+	reg.GaugeFunc(MetricWorkersLive, "workers seen within one lease timeout", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.liveWorkersLocked(time.Now()))
+	})
+	reg.GaugeFunc(MetricCellsPerSec, "EWMA completion rate", func() float64 {
+		return c.rate.Rate()
+	})
+	reg.GaugeFunc(MetricUptime, "seconds since the coordinator started", func() float64 {
+		return time.Since(c.start).Seconds()
+	})
+}
+
+// countStateFn returns a scrape-time closure counting cells in state s.
+func (c *Coordinator) countStateFn(s cellState) func() float64 {
+	return func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, st := range c.state {
+			if st == s {
+				n++
+			}
+		}
+		return float64(n)
+	}
+}
+
+// touchWorkerLocked records a sighting of worker id; callers hold mu.
+func (c *Coordinator) touchWorkerLocked(id string, now time.Time) *workerInfo {
+	if id == "" {
+		return nil
+	}
+	w := c.workers[id]
+	if w == nil {
+		w = &workerInfo{}
+		c.workers[id] = w
+	}
+	w.lastSeen = now
+	return w
+}
+
+// liveWorkersLocked counts workers seen within one lease timeout;
+// callers hold mu.
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.leaseTimeout {
+			n++
+		}
+	}
+	return n
+}
+
+// workerStatusLocked snapshots the per-worker table, sorted by ID;
+// callers hold mu.
+func (c *Coordinator) workerStatusLocked(now time.Time) []WorkerStatus {
+	if len(c.workers) == 0 {
+		return nil
+	}
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for id, w := range c.workers {
+		out = append(out, WorkerStatus{
+			ID:           id,
+			LastSeenSecs: now.Sub(w.lastSeen).Seconds(),
+			Cells:        w.cells,
+			Expired:      w.expired,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// progressLoop prints one summary line per interval — completion,
+// lease-table shape, EWMA rate and ETA — until the campaign completes.
+// It replaces the per-cell completion lines, which Progress > 0
+// suppresses.
+func (c *Coordinator) progressLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case now := <-t.C:
+			st := c.Status()
+			c.rate.Observe(float64(st.Done), now)
+			line := fmt.Sprintf("progress: %d/%d done (%d resumed, %d leased, %d pending, %d reissued)",
+				st.Done, st.Cells, st.Resumed, st.Leased, st.Pending, st.Reissued)
+			if r := c.rate.Rate(); r > 0 {
+				line += fmt.Sprintf(", %.2f cells/s", r)
+			}
+			if eta, ok := c.rate.ETA(float64(st.Cells - st.Done)); ok {
+				line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+			}
+			c.opt.logf("%s", line)
+		}
+	}
+}

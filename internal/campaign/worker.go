@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/p2prepro/locaware/internal/core"
+	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/sweep"
 )
 
@@ -35,6 +36,11 @@ type Worker struct {
 // the coordinator at url. sims bounds the simulation pool used per cell
 // (<= 0 means one per CPU).
 func NewWorker(base core.Config, spec *sweep.Spec, url string, sims int, opt Options) (*Worker, error) {
+	if opt.Obs != nil {
+		// Instrument every cell run; Obs is excluded from the content
+		// hash, so the coordinator interlock still matches.
+		base.Obs = opt.Obs
+	}
 	plan, err := sweep.NewPlan(base, spec)
 	if err != nil {
 		return nil, err
@@ -73,7 +79,12 @@ func (w *Worker) Run(ctx context.Context) (int, error) {
 	completed := 0
 	contacted := false
 	failures := 0
+	lastReport := time.Now()
 	for {
+		if w.opt.Progress > 0 && time.Since(lastReport) >= w.opt.Progress {
+			lastReport = time.Now()
+			w.opt.logf("worker %s: %d cells executed", w.id, completed)
+		}
 		if err := sleepCtx(ctx, 0); err != nil {
 			return completed, err
 		}
@@ -130,14 +141,29 @@ func (w *Worker) execute(job *Job) error {
 		return fmt.Errorf("campaign: leased cell %d carries seed %d, local plan derives %d — campaign hash collision or protocol bug",
 			job.Cell, job.Seed, cells[job.Cell].Seed)
 	}
-	w.opt.logf("worker %s: running cell %d (%s)", w.id, job.Cell, cells[job.Cell].Label())
+	if w.opt.Progress <= 0 {
+		w.opt.logf("worker %s: running cell %d (%s)", w.id, job.Cell, cells[job.Cell].Label())
+	}
+	// Snapshot the registry around the cell so the post carries exactly
+	// this cell's counter deltas (the worker runs cells sequentially).
+	var before []obs.Sample
+	if w.opt.Obs != nil {
+		before = w.opt.Obs.CounterSamples()
+	}
 	cr, err := w.plan.RunCellAt(job.Cell, w.sims)
 	if err != nil {
 		return err
 	}
-	reply, err := w.post(cr)
+	var deltas []obs.Sample
+	if w.opt.Obs != nil {
+		deltas = obs.DiffCounters(before, w.opt.Obs.CounterSamples())
+	}
+	reply, err := w.post(cr, deltas)
 	if err != nil {
 		return err
+	}
+	if w.opt.Progress > 0 {
+		return nil
 	}
 	if reply.Duplicate {
 		w.opt.logf("worker %s: cell %d was already complete (another worker won the race)", w.id, job.Cell)
@@ -168,8 +194,8 @@ func (w *Worker) lease() (*LeaseReply, error) {
 // A coordinator-side rejection (stale hash, invalid cell) is permanent
 // and fails the worker: recomputing the same bytes would be rejected
 // again.
-func (w *Worker) post(cr *sweep.CellResult) (*ResultReply, error) {
-	body, err := json.Marshal(ResultPost{SpecHash: w.plan.Hash(), Worker: w.id, Cell: *cr})
+func (w *Worker) post(cr *sweep.CellResult, deltas []obs.Sample) (*ResultReply, error) {
+	body, err := json.Marshal(ResultPost{SpecHash: w.plan.Hash(), Worker: w.id, Cell: *cr, Obs: deltas})
 	if err != nil {
 		return nil, fmt.Errorf("campaign: encoding result for cell %d: %w", cr.Index, err)
 	}

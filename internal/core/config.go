@@ -10,6 +10,7 @@ import (
 
 	"github.com/p2prepro/locaware/internal/cache"
 	"github.com/p2prepro/locaware/internal/netmodel"
+	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/overlay"
 	"github.com/p2prepro/locaware/internal/protocol"
 	"github.com/p2prepro/locaware/internal/scenario"
@@ -81,6 +82,15 @@ type Config struct {
 	// clamp down to it (empty shard engines would only add barrier
 	// overhead).
 	Shards int
+
+	// Obs, when non-nil, attaches the run-wide observability registry:
+	// event-loop and protocol instrumentation accumulate into it through
+	// shard-confined cells, and RunResult.Runtime carries the per-run
+	// snapshot. Instrumentation is provably inert — it never touches RNG
+	// streams or event order, so output stays byte-identical. The json
+	// tag keeps campaign fingerprints and checkpoint identity independent
+	// of whether a run is instrumented.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultConfig returns the paper's evaluation setup (§5.1).

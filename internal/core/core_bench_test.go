@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/protocol"
 	"github.com/p2prepro/locaware/internal/scenario"
 )
@@ -45,6 +46,43 @@ func BenchmarkMeasuredPathAllocs(b *testing.B) {
 		mallocs += m1.Mallocs - m0.Mallocs
 		if res.Collector.Submitted() != queries {
 			b.Fatalf("submitted %d queries", res.Collector.Submitted())
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mallocs)/float64(uint64(b.N)*queries), "allocs/query")
+}
+
+// BenchmarkInstrumentedPathAllocs is BenchmarkMeasuredPathAllocs with the
+// observability registry attached: the instrumented hot path must stay
+// within the same per-query allocation budget, because per-event
+// accounting goes through shard-confined cells (plain increments) and the
+// only instrumentation allocations are first-seen label series and the
+// end-of-run snapshot, both amortised over the whole run.
+func BenchmarkInstrumentedPathAllocs(b *testing.B) {
+	const queries = 500
+	b.ReportAllocs()
+	var mallocs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := benchConfig(2000, int64(i+1))
+		cfg.Protocol.Collector.Checkpoints = []int{100, 200, 300, 400, 500}
+		cfg.Obs = obs.NewRegistry()
+		s := NewSimulation(cfg, protocol.Locaware{})
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
+		res := s.RunMeasured(0, queries)
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		mallocs += m1.Mallocs - m0.Mallocs
+		if res.Collector.Submitted() != queries {
+			b.Fatalf("submitted %d queries", res.Collector.Submitted())
+		}
+		if res.Runtime == nil || res.Runtime.Submitted != queries {
+			b.Fatalf("instrumentation lost the run: %+v", res.Runtime)
 		}
 		b.StartTimer()
 	}

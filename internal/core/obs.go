@@ -1,0 +1,135 @@
+package core
+
+import (
+	"github.com/p2prepro/locaware/internal/obs"
+	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// RegisterObsFamilies pre-registers every event-loop and protocol metric
+// family on reg, so a scrape surface (the campaign coordinator, a worker
+// -obs-addr) advertises the full catalog before the first instrumented
+// run reports in. Idempotent.
+func RegisterObsFamilies(reg *obs.Registry) {
+	sim.RegisterMetrics(reg)
+	protocol.RegisterMetrics(reg)
+}
+
+// RuntimeStats is one run's observability snapshot: what this simulation
+// contributed to the registry, assembled from its own shard-confined
+// cells (the registry itself may be shared across concurrent runs).
+type RuntimeStats struct {
+	// Shards is the effective shard count the run executed with.
+	Shards int
+	// EventsByKind counts deliveries per event kind across all shards.
+	EventsByKind map[string]uint64
+	// EventsScheduled counts all schedule calls, including cancelled ones.
+	EventsScheduled uint64
+	// QueueDepthHighWater is the deepest any shard's event queue got.
+	QueueDepthHighWater uint64
+	// FreeListEvents is the pooled-event capacity left at end of run.
+	FreeListEvents int
+	// Epochs / CrossShardEvents / MaxEpochDrainSeconds describe the
+	// sharded epoch loop (zero on a single queue).
+	Epochs               uint64
+	CrossShardEvents     uint64
+	MaxEpochDrainSeconds float64
+	// Protocol-plane counters (see protocol.ObsSnapshot).
+	Submitted            uint64
+	Finalized            uint64
+	CacheHits            uint64
+	CacheMisses          uint64
+	StorageHits          uint64
+	BloomInstallCopies   uint64
+	PendingHighWater     uint64
+	FinalizeWatermarkLag uint64
+	// PoolFree is the per-pool free-list occupancy at end of run.
+	PoolFree map[string]int
+}
+
+// attachObs wires instrumentation into the loop and network. Called at
+// build time so the hot path sees stable instr pointers for the whole
+// run.
+func (s *Simulation) attachObs(reg *obs.Registry) {
+	RegisterObsFamilies(reg)
+	if sh, ok := s.loop.(*sim.Sharded); ok {
+		s.obsSh = sh.EnableObs(reg)
+	} else {
+		s.obsEng = s.Engine.EnableObs(reg)
+	}
+	s.Network.EnableObs(reg)
+}
+
+// finishObs drains every cell, folds the run's end-of-run totals
+// (scheduled events, freelists, forwarding tiers, control traffic, pool
+// occupancy) into the registry, and attaches the per-run snapshot to
+// res. No-op without an attached registry.
+func (s *Simulation) finishObs(res *RunResult) {
+	reg := s.Cfg.Obs
+	if reg == nil {
+		return
+	}
+	if s.obsSh != nil {
+		s.obsSh.Drain()
+	} else if s.obsEng != nil {
+		s.obsEng.Drain()
+	}
+	s.Network.DrainObs()
+
+	var scheduled uint64
+	freelist := 0
+	if sh, ok := s.loop.(*sim.Sharded); ok {
+		for i := 0; i < sh.Shards(); i++ {
+			scheduled += sh.Engine(i).Scheduled()
+			freelist += sh.Engine(i).FreeListLen()
+		}
+	} else {
+		scheduled = s.Engine.Scheduled()
+		freelist = s.Engine.FreeListLen()
+	}
+	reg.Counter(sim.MetricScheduled, "").Add(scheduled)
+	reg.Gauge(sim.MetricFreeList, "").SetMax(int64(freelist))
+
+	fwd := s.Network.Forwarding()
+	fwdVec := reg.CounterVec(protocol.MetricForwards, "", "tier")
+	fwdVec.With("bloom").Add(fwd.BloomMatched)
+	fwdVec.With("gid").Add(fwd.GidMatched)
+	fwdVec.With("fallback").Add(fwd.Fallback)
+	fwdVec.With("flood").Add(fwd.FloodAll)
+	reg.Counter(protocol.MetricControlMsgs, "").Add(s.Network.ControlMessages())
+	reg.Counter(protocol.MetricControlBits, "").Add(s.Network.ControlBits())
+	reg.Counter(protocol.MetricStaleBlooms, "").Add(s.Network.StaleBloomFallbacks())
+
+	pools := s.Network.PoolSizes()
+	poolVec := reg.GaugeVec(protocol.MetricPoolFree, "", "pool")
+	for name, n := range pools {
+		poolVec.With(name).SetMax(int64(n))
+	}
+
+	ps := s.Network.ObsStats()
+	rs := &RuntimeStats{
+		Shards:               s.Cfg.Shards,
+		EventsScheduled:      scheduled,
+		FreeListEvents:       freelist,
+		Submitted:            ps.Submitted,
+		Finalized:            ps.Finalized,
+		CacheHits:            ps.CacheHits,
+		CacheMisses:          ps.CacheMisses,
+		StorageHits:          ps.StorageHits,
+		BloomInstallCopies:   ps.BloomInstallCopies,
+		PendingHighWater:     ps.PendingHighWater,
+		FinalizeWatermarkLag: ps.WatermarkLagHighWtr,
+		PoolFree:             pools,
+	}
+	if s.obsSh != nil {
+		rs.EventsByKind = s.obsSh.EventsByKind()
+		rs.QueueDepthHighWater = s.obsSh.QueueHighWater()
+		rs.Epochs = s.obsSh.Epochs()
+		rs.CrossShardEvents = s.obsSh.CrossShardEvents()
+		rs.MaxEpochDrainSeconds = s.obsSh.MaxEpochDrainSeconds()
+	} else if s.obsEng != nil {
+		rs.EventsByKind = s.obsEng.EventsByKind()
+		rs.QueueDepthHighWater = s.obsEng.QueueHighWater()
+	}
+	res.Runtime = rs
+}

@@ -31,6 +31,11 @@ type Simulation struct {
 	placement *workload.Placement
 	scenario  *scenario.Runtime
 
+	// obsEng / obsSh hold the run's event-loop instrumentation when
+	// Cfg.Obs is set (exactly one is non-nil, matching the loop kind).
+	obsEng *sim.EngineInstr
+	obsSh  *sim.ShardedInstr
+
 	// loop drives the run: the sharded per-locality harness when
 	// Cfg.Shards > 1 (Engine then aliases shard 0, which hosts the
 	// control plane — submission chain, gossip and churn ticks, collector
@@ -184,6 +189,12 @@ func NewSimulation(cfg Config, b protocol.Behavior) *Simulation {
 		}
 		s.scenario = rt
 	}
+	if cfg.Obs != nil {
+		// Attach instrumentation last so every engine and shard state
+		// exists. Observability is shard-confined (unlike a tracer) and
+		// never forces the sequential epoch drain.
+		s.attachObs(cfg.Obs)
+	}
 	return s
 }
 
@@ -214,6 +225,9 @@ type RunResult struct {
 	// crashing the campaign). The result then covers only the epochs
 	// delivered before the violation.
 	Err error
+	// Runtime is the run's observability snapshot; nil unless Config.Obs
+	// was set.
+	Runtime *RuntimeStats
 }
 
 // Run submits numQueries queries at the generator's Poisson arrival times
@@ -295,6 +309,7 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 		res.CacheFilenames += n.RI.Len()
 		res.CacheProviderEntries += n.RI.TotalProviderEntries()
 	}
+	s.finishObs(res)
 	return res
 }
 

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := reg.Counter("c_total", "ignored"); again.Value() != 5 {
+		t.Fatal("re-registration did not return the same series")
+	}
+
+	g := reg.Gauge("g", "a gauge")
+	g.Set(7)
+	g.SetMax(3) // lower: no-op
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge after SetMax = %d, want 11", got)
+	}
+
+	h := reg.Histogram("h_seconds", "a histogram", ExpBuckets(0.001, 10, 3))
+	h.Observe(0.0005) // first bucket
+	h.Observe(0.05)   // third bucket
+	h.Observe(5)      // +Inf
+	if h.Count() != 3 {
+		t.Fatalf("histogram count = %d, want 3", h.Count())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_total", "last family").Add(2)
+	reg.CounterVec("a_total", "by kind", "kind").With("x").Add(3)
+	reg.Gauge("b", "a gauge").Set(-4)
+	reg.GaugeFunc("f", "func gauge", func() float64 { return 1.5 })
+	h := reg.Histogram("h_seconds", "timings", ExpBuckets(0.01, 10, 2))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	reg.CounterVec("empty_total", "no series yet", "kind")
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wantLines := []string{
+		"# HELP a_total by kind",
+		"# TYPE a_total counter",
+		`a_total{kind="x"} 3`,
+		"b -4",
+		"f 1.5",
+		"# TYPE empty_total counter", // series-less family still advertised
+		`h_seconds_bucket{le="0.01"} 1`,
+		`h_seconds_bucket{le="0.1"} 2`,
+		`h_seconds_bucket{le="+Inf"} 2`,
+		"h_seconds_sum 0.055",
+		"h_seconds_count 2",
+		"z_total 2",
+	}
+	for _, l := range wantLines {
+		if !strings.Contains(out, l+"\n") {
+			t.Fatalf("output missing %q:\n%s", l, out)
+		}
+	}
+	// Families must be sorted: a_total before z_total.
+	if strings.Index(out, "a_total") > strings.Index(out, "z_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestCellDrainAndTotals(t *testing.T) {
+	reg := NewRegistry()
+	sinkC := reg.Counter("c_total", "")
+	sinkG := reg.Gauge("g_hw", "")
+	vec := reg.CounterVec("v_total", "", "kind")
+
+	var cell Cell
+	lc := cell.Counter(sinkC)
+	lm := cell.Max(sinkG)
+	lv := cell.CounterVec(vec)
+
+	lc.Inc()
+	lc.Add(9)
+	lm.Observe(4)
+	lm.Observe(2)
+	lv.Get("a").Inc()
+	lv.Get("a").Inc()
+	lv.Get("b").Inc()
+
+	if sinkC.Value() != 0 {
+		t.Fatal("registry saw increments before drain")
+	}
+	if lc.Total() != 10 {
+		t.Fatalf("local total = %d, want 10 before drain", lc.Total())
+	}
+	cell.Drain()
+	if sinkC.Value() != 10 || sinkG.Value() != 4 {
+		t.Fatalf("after drain: counter=%d gauge=%d, want 10/4", sinkC.Value(), sinkG.Value())
+	}
+	if vec.With("a").Value() != 2 || vec.With("b").Value() != 1 {
+		t.Fatal("vector drain mismatch")
+	}
+	// Second drain with no new increments must not double-count.
+	cell.Drain()
+	if sinkC.Value() != 10 {
+		t.Fatalf("double drain changed counter to %d", sinkC.Value())
+	}
+	lm.Observe(3) // below lifetime max: gauge must stay at 4
+	cell.Drain()
+	if sinkG.Value() != 4 || lm.Max() != 4 {
+		t.Fatalf("max regressed: gauge=%d local=%d", sinkG.Value(), lm.Max())
+	}
+	tot := lv.Totals()
+	if tot["a"] != 2 || tot["b"] != 1 {
+		t.Fatalf("Totals = %v", tot)
+	}
+}
+
+func TestSamplesDiffAbsorb(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "").Add(5)
+	reg.CounterVec("b_total", "", "kind").With("x").Add(2)
+	before := reg.CounterSamples()
+
+	reg.Counter("a_total", "").Add(3)
+	reg.CounterVec("b_total", "", "kind").With("y").Add(7)
+	after := reg.CounterSamples()
+
+	diff := DiffCounters(before, after)
+	if len(diff) != 2 {
+		t.Fatalf("diff = %+v, want 2 entries", diff)
+	}
+	got := map[string]uint64{}
+	for _, s := range diff {
+		got[s.Name+"/"+s.Label] = s.Value
+	}
+	if got["a_total/"] != 3 || got["b_total/y"] != 7 {
+		t.Fatalf("diff values = %v", got)
+	}
+
+	other := NewRegistry()
+	other.AbsorbCounters(diff)
+	other.AbsorbCounters(diff)
+	if v := other.Counter("a_total", "").Value(); v != 6 {
+		t.Fatalf("absorbed a_total = %d, want 6", v)
+	}
+	if v := other.CounterVec("b_total", "", "kind").With("y").Value(); v != 14 {
+		t.Fatalf("absorbed b_total{y} = %d, want 14", v)
+	}
+}
+
+func TestHandlerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "hits").Inc()
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":          "hits_total 1",
+		"/debug/pprof/heap": "", // just must answer 200
+	} {
+		resp, err := srv.Client().Get(srv.URL + path + "?debug=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 1<<16)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(string(body[:n]), want) {
+			t.Fatalf("%s missing %q:\n%s", path, want, body[:n])
+		}
+	}
+}
+
+func TestRateEWMA(t *testing.T) {
+	r := NewRateEWMA(10 * time.Second)
+	t0 := time.Unix(1000, 0)
+	r.Observe(0, t0)
+	if r.Rate() != 0 {
+		t.Fatal("rate before second sample should be 0")
+	}
+	// 2 items/sec sustained for several half-lives converges near 2.
+	for i := 1; i <= 12; i++ {
+		r.Observe(float64(2*5*i), t0.Add(time.Duration(i)*5*time.Second))
+	}
+	if rate := r.Rate(); rate < 1.5 || rate > 2.5 {
+		t.Fatalf("rate = %g, want ~2", rate)
+	}
+	eta, ok := r.ETA(20)
+	if !ok {
+		t.Fatal("ETA unavailable despite positive rate")
+	}
+	if eta < 5*time.Second || eta > 15*time.Second {
+		t.Fatalf("ETA = %v, want ~10s", eta)
+	}
+	if _, ok := NewRateEWMA(0).ETA(5); ok {
+		t.Fatal("ETA from unprimed tracker should be unavailable")
+	}
+}

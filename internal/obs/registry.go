@@ -1,0 +1,378 @@
+// Package obs is the run-wide observability layer: a dependency-free
+// metrics registry (counters, gauges, histograms with fixed log-scale
+// buckets) with a Prometheus text exposition writer, plus the shard-local
+// cells (cell.go) that keep the simulation hot path uncontended and
+// alloc-free. Registry totals are atomics so they can be scraped from an
+// HTTP handler while runs are in flight; the hot path never touches them
+// directly — per-shard cells fold into the registry at sequential epoch
+// barriers.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric family for the exposition format.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families keyed by name. All methods are safe for
+// concurrent use; reads (WritePrometheus, CounterSamples) observe atomics
+// and may race benignly with in-flight cell drains.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*Family)}
+}
+
+// Family is one named metric with zero or more label-value series. A
+// family has at most one label key; plain (unlabeled) families hold a
+// single series under the empty label value.
+type Family struct {
+	name    string
+	help    string
+	kind    Kind
+	label   string // label key; "" for plain families
+	buckets []float64
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+type series struct {
+	c  atomic.Uint64  // counter total
+	g  atomic.Int64   // gauge value
+	fn func() float64 // gauge callback; nil for stored values
+
+	buckets []atomic.Uint64 // histogram: per-bucket counts, last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // histogram sum as float64 bits
+}
+
+func (f *Family) get(label string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[label]; ok {
+		return s
+	}
+	s := &series{}
+	if f.kind == KindHistogram {
+		s.buckets = make([]atomic.Uint64, len(f.buckets)+1)
+	}
+	f.series[label] = s
+	return s
+}
+
+func (r *Registry) family(name, help string, kind Kind, label string, buckets []float64) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic("obs: metric " + name + " re-registered as " + kind.String() + ", was " + f.kind.String())
+		}
+		return f
+	}
+	f := &Family{name: name, help: help, kind: kind, label: label,
+		buckets: buckets, series: make(map[string]*series)}
+	r.families[name] = f
+	return f
+}
+
+// Counter is a monotonically increasing uint64. Add/Inc are atomic and
+// safe from any goroutine; the simulation hot path should go through a
+// cell's LocalCounter instead.
+type Counter struct{ s *series }
+
+func (c *Counter) Inc()          { c.s.c.Add(1) }
+func (c *Counter) Add(n uint64)  { c.s.c.Add(n) }
+func (c *Counter) Value() uint64 { return c.s.c.Load() }
+
+// Counter registers (or fetches) a plain counter family and returns its
+// single series.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{r.family(name, help, KindCounter, "", nil).get("")}
+}
+
+// CounterVec is a counter family with one label key.
+type CounterVec struct{ f *Family }
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{r.family(name, help, KindCounter, label, nil)}
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter { return &Counter{v.f.get(value)} }
+
+// Gauge is a settable int64 level (queue depths, high-waters, pool
+// sizes). SetMax keeps a running maximum across concurrent writers.
+type Gauge struct{ s *series }
+
+func (g *Gauge) Set(v int64)  { g.s.g.Store(v) }
+func (g *Gauge) Add(d int64)  { g.s.g.Add(d) }
+func (g *Gauge) Value() int64 { return g.s.g.Load() }
+
+// SetMax raises the gauge to v if v exceeds the current value.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		old := g.s.g.Load()
+		if v <= old {
+			return
+		}
+		if g.s.g.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Gauge registers (or fetches) a plain gauge family's single series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{r.family(name, help, KindGauge, "", nil).get("")}
+}
+
+// GaugeVec is a gauge family with one label key.
+type GaugeVec struct{ f *Family }
+
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, KindGauge, label, nil)}
+}
+
+func (v *GaugeVec) With(value string) *Gauge { return &Gauge{v.f.get(value)} }
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. fn must be safe to call from the HTTP handler goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.family(name, help, KindGauge, "", nil).get("").fn = fn
+}
+
+// Histogram accumulates observations into fixed buckets (upper bounds,
+// ascending; an implicit +Inf bucket is appended). Observe is atomic and
+// allocation-free.
+type Histogram struct {
+	f *Family
+	s *series
+}
+
+// Histogram registers (or fetches) a plain histogram family. The bucket
+// layout of the first registration wins.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, KindHistogram, "", buckets)
+	return &Histogram{f, f.get("")}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.f.buckets, v)
+	h.s.buckets[i].Add(1)
+	h.s.count.Add(1)
+	for {
+		old := h.s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.s.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() uint64 { return h.s.count.Load() }
+
+// ExpBuckets returns n exponentially spaced bucket upper bounds starting
+// at start, each factor times the previous — the fixed log-scale layout
+// used for wall-clock timings.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series by label
+// value, HELP/TYPE headers emitted even for series-less families so the
+// full catalog is visible before the first run.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*Family, len(names))
+	sort.Strings(names)
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		labels := make([]string, 0, len(f.series))
+		for l := range f.series {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		sers := make([]*series, len(labels))
+		for i, l := range labels {
+			sers[i] = f.series[l]
+		}
+		f.mu.Unlock()
+		for i, s := range sers {
+			if err := writeSeries(w, f, labels[i], s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func labelPair(f *Family, label string) string {
+	if f.label == "" {
+		return ""
+	}
+	return "{" + f.label + `="` + labelEscaper.Replace(label) + `"}`
+}
+
+func writeSeries(w io.Writer, f *Family, label string, s *series) error {
+	lp := labelPair(f, label)
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, lp, s.c.Load())
+		return err
+	case KindGauge:
+		if s.fn != nil {
+			_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, lp,
+				strconv.FormatFloat(s.fn(), 'g', -1, 64))
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, lp, s.g.Load())
+		return err
+	case KindHistogram:
+		cum := uint64(0)
+		for i, ub := range f.buckets {
+			cum += s.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", f.name,
+				strconv.FormatFloat(ub, 'g', -1, 64), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.buckets[len(f.buckets)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum); err != nil {
+			return err
+		}
+		sum := math.Float64frombits(s.sumBits.Load())
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", f.name,
+			strconv.FormatFloat(sum, 'g', -1, 64)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count %d\n", f.name, s.count.Load())
+		return err
+	}
+	return nil
+}
+
+// Sample is one counter series value, flattened for JSON transfer —
+// workers ship per-cell counter deltas to the coordinator this way.
+type Sample struct {
+	Name  string `json:"name"`
+	Key   string `json:"key,omitempty"`   // label key, "" for plain series
+	Label string `json:"label,omitempty"` // label value
+	Value uint64 `json:"value"`
+}
+
+// CounterSamples snapshots every counter series, sorted by (name, label).
+func (r *Registry) CounterSamples() []Sample {
+	r.mu.Lock()
+	fams := make([]*Family, 0, len(r.families))
+	for _, f := range r.families {
+		if f.kind == KindCounter {
+			fams = append(fams, f)
+		}
+	}
+	r.mu.Unlock()
+	var out []Sample
+	for _, f := range fams {
+		f.mu.Lock()
+		for l, s := range f.series {
+			out = append(out, Sample{Name: f.name, Key: f.label, Label: l, Value: s.c.Load()})
+		}
+		f.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// DiffCounters returns after minus before, dropping unchanged series.
+// Series absent from before count from zero.
+func DiffCounters(before, after []Sample) []Sample {
+	base := make(map[[2]string]uint64, len(before))
+	for _, s := range before {
+		base[[2]string{s.Name, s.Label}] = s.Value
+	}
+	var out []Sample
+	for _, s := range after {
+		d := s.Value - base[[2]string{s.Name, s.Label}]
+		if d != 0 {
+			s.Value = d
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// AbsorbCounters adds counter samples into the registry, creating
+// families as needed — the coordinator merges worker-posted deltas here.
+func (r *Registry) AbsorbCounters(samples []Sample) {
+	for _, s := range samples {
+		f := r.family(s.Name, "", KindCounter, s.Key, nil)
+		f.get(s.Label).c.Add(s.Value)
+	}
+}

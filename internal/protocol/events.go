@@ -218,6 +218,9 @@ func (st *shardState) acquireBloomInstallOwned(net *Network, dst, from overlay.P
 	// Geometry matches by construction: all filters in one network share
 	// the configured bits/hashes.
 	_ = snap.CopyFrom(src)
+	if in := st.instr; in != nil {
+		in.bloomCopies.Inc()
+	}
 	ev := st.acquireBloomInstall(net, dst, from, snap, 0)
 	ev.owned = true
 	return ev

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/p2prepro/locaware/internal/netmodel"
+	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/overlay"
 	"github.com/p2prepro/locaware/internal/sim"
 )
@@ -75,6 +76,43 @@ func TestGossipRoundZeroAlloc(t *testing.T) {
 	}
 	if net.ControlMessages() == 0 {
 		t.Fatal("no gossip traffic generated; the zero-alloc assertion is vacuous")
+	}
+}
+
+// TestGossipRoundZeroAllocInstrumented re-proves the gossip-plane
+// zero-alloc contract with full instrumentation attached — engine event
+// accounting and protocol counters both active. The cells allocate only
+// on first-seen event kinds, all of which the warm rounds touch, so the
+// steady state stays at zero.
+func TestGossipRoundZeroAllocInstrumented(t *testing.T) {
+	net := gossipWorld(64)
+	reg := obs.NewRegistry()
+	ei := net.Engine.EnableObs(reg)
+	net.EnableObs(reg)
+	for r := 0; r < 4; r++ {
+		gossipRound(net, r)
+	}
+	round := 4
+	if n := testing.AllocsPerRun(50, func() {
+		gossipRound(net, round)
+		round++
+	}); n != 0 {
+		t.Fatalf("instrumented gossip round allocates %.1f/op, want 0", n)
+	}
+	ei.Drain()
+	net.DrainObs()
+	if got := reg.Counter(MetricBloomCopies, "").Value(); got != 0 {
+		t.Fatalf("single-queue gossip made %d owned bloom copies, want 0", got)
+	}
+	evs := reg.CounterSamples()
+	var installs uint64
+	for _, s := range evs {
+		if s.Name == sim.MetricEvents && s.Label == "bloom-install" {
+			installs = s.Value
+		}
+	}
+	if installs == 0 {
+		t.Fatal("engine instrumentation counted no bloom-install events")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"github.com/p2prepro/locaware/internal/keywords"
 	"github.com/p2prepro/locaware/internal/metrics"
 	"github.com/p2prepro/locaware/internal/netmodel"
+	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/overlay"
 	"github.com/p2prepro/locaware/internal/sim"
 	"github.com/p2prepro/locaware/internal/trace"
@@ -208,6 +209,11 @@ type shardState struct {
 	// finished queues the ids of queries this shard finalised during the
 	// current epoch; records seal in ascending id order at the flush.
 	finished []QueryID
+
+	// instr, when non-nil, is the shard's observability cell (see obs.go):
+	// plain local counters folded into the shared registry at sequential
+	// epoch boundaries, so the hot path stays uncontended and alloc-free.
+	instr *shardInstr
 }
 
 func newShardState(idx int, eng *sim.Engine, rng *rand.Rand, sharded bool) *shardState {
@@ -303,6 +309,15 @@ type Network struct {
 	// with a bounded trace.Buffer. A tracer is a cross-shard sink: the
 	// harness runs traced sharded runs with sequential epoch drains.
 	Tracer trace.Tracer
+
+	// obsReg / obsLag / obsLagHW back the observability layer (obs.go):
+	// the shared registry, the watermark-lag gauge, and the run-local lag
+	// high-water. Unlike the Tracer, instrumentation is shard-confined
+	// (each shardState owns its cell) so it never forces the sequential
+	// drain.
+	obsReg   *obs.Registry
+	obsLag   *obs.Gauge
+	obsLagHW uint64
 }
 
 // NewNetwork assembles a single-queue network. gidRng draws each node's
@@ -628,6 +643,10 @@ func (net *Network) runSubmit(eng *sim.Engine, st *shardState, id QueryID, origi
 	pq := net.acquirePending(st, origin)
 	st.pending[id] = pq
 
+	if in := st.instr; in != nil {
+		in.submitted.Inc()
+		in.pendingHW.Observe(uint64(len(st.pending)))
+	}
 	eng.PostEvent(net.Config.FinalizeAfter, st.acquireFinalize(net, id, origin))
 	net.emit(trace.QuerySubmit, id, origin, -1, q.String)
 	if !net.Graph.Online(origin) {
@@ -642,16 +661,25 @@ func (net *Network) runSubmit(eng *sim.Engine, st *shardState, id QueryID, origi
 		pq.rtt = 0
 		pq.sameLoc = true
 		pq.hops = 0
+		if in := st.instr; in != nil {
+			in.storageHits.Inc()
+		}
 		net.emit(trace.StorageHit, id, origin, -1, f.String)
 		return
 	}
 	if ms := n.RI.Lookup(q, eng.Now()); len(ms) != 0 {
 		if prov, ok := net.Behavior.SelectProvider(net, n, net.liveProviders(st, ms[0].Providers)); ok {
 			pq.fromCache = true
+			if in := st.instr; in != nil {
+				in.cacheHits.Inc()
+			}
 			net.emit(trace.CacheHit, id, origin, -1, ms[0].File.String)
 			net.completeDownload(id, pq, n, ms[0].File, prov, 0)
 			return
 		}
+	}
+	if in := st.instr; in != nil {
+		in.cacheMisses.Inc()
 	}
 	msg := st.acquireMsg()
 	msg.ID = id
@@ -784,6 +812,9 @@ func (net *Network) receiveQuery(eng *sim.Engine, st *shardState, p overlay.Peer
 
 	// Storage hit?
 	if f, ok := n.storageMatch(q.Q); ok {
+		if in := st.instr; in != nil {
+			in.storageHits.Inc()
+		}
 		net.emit(trace.StorageHit, q.ID, p, -1, f.String)
 		rsp := st.acquireResponse()
 		rsp.ID = q.ID
@@ -802,6 +833,9 @@ func (net *Network) receiveQuery(eng *sim.Engine, st *shardState, p overlay.Peer
 	// Response-index hit?
 	if ms := n.RI.Lookup(q.Q, eng.Now()); len(ms) != 0 {
 		m := net.selectIndexMatch(ms, q)
+		if in := st.instr; in != nil {
+			in.cacheHits.Inc()
+		}
 		net.emit(trace.CacheHit, q.ID, p, -1, m.File.String)
 		rsp := st.acquireResponse()
 		rsp.ID = q.ID
@@ -816,6 +850,9 @@ func (net *Network) receiveQuery(eng *sim.Engine, st *shardState, p overlay.Peer
 		net.Behavior.OnAnswer(net, n, q, m.File)
 		net.sendResponse(eng, st, p, rsp)
 		return
+	}
+	if in := st.instr; in != nil {
+		in.cacheMisses.Inc()
 	}
 	net.forward(eng, st, n, q, q.Path[len(q.Path)-2])
 }
@@ -983,6 +1020,9 @@ func (net *Network) finalize(st *shardState, id QueryID) {
 		return
 	}
 	pq.finalized = true
+	if in := st.instr; in != nil {
+		in.finalized.Inc()
+	}
 	if !pq.answered {
 		net.emit(trace.QueryFailed, id, pq.origin, -1, nil)
 	}
@@ -1070,6 +1110,12 @@ func (net *Network) EpochFlush() {
 		}
 	}
 	net.flushIDs = ids[:0]
+	if net.obsReg != nil {
+		// Sequential barrier context: fold every shard's cell into the
+		// registry and refresh the watermark lag, so a worker's /metrics
+		// tracks long runs live instead of jumping at the end.
+		net.drainObsLocked()
+	}
 }
 
 // FlushPending finalises all still-pending queries immediately (used at

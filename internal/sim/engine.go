@@ -33,6 +33,11 @@ type Engine struct {
 	// determinism test records global delivery order through it); nil costs
 	// one branch per delivery.
 	observer func(at Time, ev Event)
+	// instr, when non-nil, counts every delivery into shard-confined
+	// observability cells (see internal/obs). Unlike observer it is safe
+	// under the parallel epoch drain — each engine owns its cells — and
+	// costs one branch per delivery when disabled.
+	instr *EngineInstr
 	// shard is this engine's index under a sharded runner (0 for a plain
 	// engine). Event handlers use it to resolve shard-confined state from
 	// the engine they fire on.
@@ -256,6 +261,9 @@ func (e *Engine) RunUntil(deadline Time, maxEvents uint64) uint64 {
 		next.dead = true
 		h, t := next.handler, next.typed
 		e.recycle(next)
+		if e.instr != nil {
+			e.instr.record(e, t)
+		}
 		if t != nil {
 			if e.observer != nil {
 				e.observer(e.now, t)

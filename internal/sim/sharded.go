@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"time"
 )
 
 // ShardMap assigns a peer id to a shard. The core harness partitions peers
@@ -81,6 +82,10 @@ type Sharded struct {
 	// protocol layer uses it to merge per-shard bookkeeping — cross-shard
 	// message counts, finalized-query records — deterministically.
 	epochHook func()
+	// instr, when non-nil, records epoch counts, mailbox traffic and
+	// wall-clock drain/barrier timings (see EnableObs). It never affects
+	// event order.
+	instr *ShardedInstr
 }
 
 // NewSharded builds a sharded loop. It panics on Shards > 1 without a
@@ -288,6 +293,9 @@ func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 		if s.epochHook != nil {
 			s.epochHook()
 		}
+		if s.instr != nil {
+			s.instr.Drain()
+		}
 		return n
 	}
 	s.stopped = false
@@ -297,6 +305,10 @@ func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 			break
 		}
 		s.flushMail()
+		if s.instr != nil {
+			s.instr.crossCount += uint64(len(s.flush))
+			s.instr.crossShard.Add(uint64(len(s.flush)))
+		}
 		if s.err != nil {
 			break
 		}
@@ -324,6 +336,10 @@ func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 		for _, e := range s.engines {
 			e.advanceTo(minT)
 		}
+		var drainStart time.Time
+		if s.instr != nil {
+			drainStart = time.Now()
+		}
 		if s.opts.Parallel && maxEvents == 0 {
 			delivered += s.drainParallel(barrier)
 		} else {
@@ -343,10 +359,17 @@ func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 				}
 			}
 		}
+		var drainDur time.Duration
+		if s.instr != nil {
+			drainDur = time.Since(drainStart)
+		}
 		if s.epochHook != nil {
 			// The epoch boundary: shard goroutines (if any) have joined,
 			// so cross-shard merges are race-free here.
 			s.epochHook()
+		}
+		if s.instr != nil {
+			s.instr.endEpoch(drainDur)
 		}
 	}
 	return delivered
@@ -363,15 +386,27 @@ func (s *Sharded) drainParallel(barrier Time) uint64 {
 	if s.counts == nil {
 		s.counts = make([]uint64, len(s.engines))
 	}
+	in := s.instr
+	var start time.Time
+	if in != nil {
+		start = time.Now()
+	}
 	var wg sync.WaitGroup
 	for i, e := range s.engines {
 		wg.Add(1)
 		go func(i int, e *Engine) {
 			defer wg.Done()
 			s.counts[i] = e.RunUntil(barrier, 0)
+			if in != nil {
+				// One writer per slot; read only after the join below.
+				in.waits[i] = time.Since(start)
+			}
 		}(i, e)
 	}
 	wg.Wait()
+	if in != nil {
+		in.recordWaits()
+	}
 	var n uint64
 	for _, c := range s.counts {
 		n += c

@@ -158,6 +158,12 @@ type Options struct {
 	// locality count clamp down to it. See README "Typed event core and
 	// sharding".
 	Shards int
+	// Observer, when non-nil, attaches run-wide observability: every
+	// simulation executed under these Options accumulates event-loop and
+	// protocol telemetry into the Observer's registry, and Result.Runtime
+	// carries the per-run snapshot. Instrumentation is inert — results
+	// are byte-identical with or without it. See NewObserver.
+	Observer *Observer
 	// Trials is the number of independent replications RunTrials and
 	// CompareTrials execute per protocol (<= 0 means 1). Trial t runs in
 	// its own simulated world rooted at a seed derived deterministically
@@ -259,6 +265,9 @@ func (o Options) coreConfig() core.Config {
 		cfg.Scenario = o.Scenario.spec
 	}
 	cfg.Protocol.Collector.RetainRecords = o.RetainRecords
+	if o.Observer != nil {
+		cfg.Obs = o.Observer.reg
+	}
 	return cfg
 }
 
@@ -310,6 +319,9 @@ type Result struct {
 	// populated only when the run executed under a scenario (explicit
 	// Options.Scenario, or the steady-churn lowering of Options.Churn).
 	Phases []PhaseMetrics
+	// Runtime is the run's observability snapshot — populated only when
+	// the run executed under an Observer (Options.Observer).
+	Runtime *RuntimeStats
 }
 
 // QueryRecord is the outcome of one measured query (RetainRecords mode).
@@ -382,6 +394,7 @@ func newResult(p Protocol, r *core.RunResult) *Result {
 		Events:                r.Events,
 		Records:               records,
 		Phases:                phases,
+		Runtime:               liftRuntime(r.Runtime),
 	}
 }
 

@@ -32,6 +32,16 @@ type CampaignOptions struct {
 	// Logf receives progress lines (resume counts, lease reissues,
 	// per-cell completions); nil discards them.
 	Logf func(format string, args ...any)
+	// Observer, when non-nil, attaches campaign observability: cell runs
+	// are instrumented with it, the coordinator serves it on /metrics
+	// (plus /debug/pprof/) alongside the lease protocol and absorbs
+	// worker-posted counter deltas, and workers post their per-cell
+	// deltas. Inert: campaign bytes and the content hash are unchanged.
+	Observer *Observer
+	// Progress, when > 0, replaces per-cell Logf lines with one summary
+	// line per interval: done/leased/resumed/reissued counts, the EWMA
+	// completion rate and an ETA.
+	Progress time.Duration
 }
 
 // CampaignStats reports how a campaign's cells were obtained.
@@ -54,13 +64,18 @@ type CampaignStats struct {
 }
 
 func (c CampaignOptions) lower() campaign.Options {
-	return campaign.Options{
+	opt := campaign.Options{
 		Checkpoint:   c.Checkpoint,
 		Resume:       c.Resume,
 		LeaseTimeout: c.LeaseTimeout,
 		Poll:         c.Poll,
 		Logf:         c.Logf,
+		Progress:     c.Progress,
 	}
+	if c.Observer != nil {
+		opt.Obs = c.Observer.reg
+	}
+	return opt
 }
 
 func liftStats(s campaign.RunStats) CampaignStats {
