@@ -101,6 +101,7 @@ func main() {
 		stats      = flag.Bool("stats", false, "print a runtime observability report (event loop, protocol, pools) after the experiment")
 		progress   = flag.Duration("progress", 0, "with -sweep campaigns: print one progress summary per interval (done/leased/ETA) instead of per-cell lines, e.g. -progress 5s")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics and /debug/pprof/ on this address (host:port) for the lifetime of the process; the -serve coordinator exposes them on its own address automatically")
+		flightRec  = flag.Int("flight-recorder", 0, "attach a tail-sampling flight recorder keeping the N slowest plus all failed queries; figures/scenarios print trial-0 span trees, sweeps ship a worst-case exemplar per cell (coordinator serves them on /traces)")
 	)
 	flag.Parse()
 
@@ -134,6 +135,13 @@ func main() {
 		observer = locaware.NewObserver()
 		statsMode = *stats
 		opts.Observer = observer
+	}
+	// The flight recorder is likewise inert: attach it to single-run
+	// experiments through Options (trial-0 traces print after the tables)
+	// and to campaigns through CampaignOptions (cells ship exemplars).
+	if *flightRec > 0 {
+		recorder = &locaware.FlightRecorder{SlowestN: *flightRec, KeepFailed: true}
+		opts.FlightRecorder = recorder
 	}
 	if *obsAddr != "" {
 		go func() {
@@ -175,11 +183,31 @@ func main() {
 }
 
 // observer / statsMode hold the process-wide observability surface when
-// any of -stats, -obs-addr, -serve or -worker enables it.
+// any of -stats, -obs-addr, -serve or -worker enables it; recorder holds
+// the -flight-recorder tail-sampling policy.
 var (
 	observer  *locaware.Observer
 	statsMode bool
+	recorder  *locaware.FlightRecorder
 )
+
+// printTraces prints one run's flight-recorder retentions: a summary line
+// per kept query plus the slowest one's full span tree.
+func printTraces(label string, r *locaware.Result) {
+	if r == nil || len(r.Traces) == 0 {
+		return
+	}
+	fmt.Printf("\n== Flight recorder: %s — %d trace(s) retained\n", label, len(r.Traces))
+	for _, t := range r.Traces {
+		status := "ok"
+		if t.Failed {
+			status = "FAILED"
+		}
+		fmt.Printf("kept=%-16s q=%-6d latency=%8.3fs hops=%-3d %s\n",
+			t.Why, t.Query, t.LatencySeconds, t.Hops, status)
+	}
+	fmt.Printf("slowest query (q=%d):\n%s", r.Traces[0].Query, r.Traces[0].Render())
+}
 
 // setFlags reports which flags were given explicitly on the command line —
 // sweep specs carry their own trials/seed/warmup/queries, so flag defaults
@@ -223,6 +251,13 @@ func runScenario(opts locaware.Options, arg string, warmup, queries int) {
 			fmt.Print(r.PhaseTable())
 			fmt.Println()
 		}
+		if recorder != nil {
+			for _, r := range cmp.Sets {
+				if len(r.Trials) > 0 {
+					printTraces(fmt.Sprintf("%s (trial 0)", r.Protocol), r.Trials[0])
+				}
+			}
+		}
 		return
 	}
 	cmp, err := locaware.Compare(opts, locaware.Baselines(), warmup, queries, nil)
@@ -234,6 +269,11 @@ func runScenario(opts locaware.Options, arg string, warmup, queries int) {
 			r.Protocol, r.SuccessRate, r.AvgMessagesPerQuery, r.AvgDownloadRTTMs)
 		fmt.Print(locaware.PhaseTable(r.Phases))
 		fmt.Println()
+	}
+	if recorder != nil {
+		for _, r := range cmp.Results {
+			printTraces(string(r.Protocol), r)
+		}
 	}
 }
 
@@ -296,11 +336,12 @@ func runSweep(opts locaware.Options, arg, outDir string, set map[string]bool, wa
 		fatal(fmt.Errorf("-serve and -worker are mutually exclusive: a process is a coordinator or a worker, not both"))
 	}
 	copt := locaware.CampaignOptions{
-		Checkpoint:   dist.checkpoint,
-		Resume:       dist.resume,
-		LeaseTimeout: dist.lease,
-		Observer:     observer,
-		Progress:     dist.progress,
+		Checkpoint:     dist.checkpoint,
+		Resume:         dist.resume,
+		LeaseTimeout:   dist.lease,
+		Observer:       observer,
+		FlightRecorder: recorder,
+		Progress:       dist.progress,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("campaign: "+format+"\n", args...)
 		},
@@ -367,9 +408,44 @@ func runSweep(opts locaware.Options, arg, outDir string, set map[string]bool, wa
 			fmt.Println("campaign warning:", w)
 		}
 	}
+	if recorder != nil {
+		printExemplars(res)
+	}
 	if outDir != "" {
 		writeSweepExports(res, outDir)
 	}
+}
+
+// printExemplars prints each cell's worst-case query trace summary plus the
+// campaign-wide slowest one's full span tree. A -serve coordinator exposes
+// the same collection on /traces while the campaign runs.
+func printExemplars(res *locaware.SweepResult) {
+	fmt.Println("\n== Exemplar traces (worst query per cell)")
+	var worst *locaware.SweepExemplar
+	worstCell := 0
+	for i := 0; i < res.NumCells(); i++ {
+		ex, err := res.CellExemplar(i)
+		if err != nil {
+			fatal(err)
+		}
+		if ex == nil {
+			continue
+		}
+		status := "ok"
+		if ex.Failed {
+			status = "FAILED"
+		}
+		fmt.Printf("cell %-4d %-14s trial=%-3d q=%-6d latency=%8.3fs hops=%-3d %s\n",
+			i, ex.Protocol, ex.Trial, ex.Query, ex.LatencySeconds, ex.Hops, status)
+		if worst == nil || ex.LatencySeconds > worst.LatencySeconds {
+			worst, worstCell = ex, i
+		}
+	}
+	if worst == nil {
+		fmt.Println("(none retained — no query matched the retention policy)")
+		return
+	}
+	fmt.Printf("\nslowest overall (cell %d, q=%d):\n%s", worstCell, worst.Query, worst.Rendered)
 }
 
 // writeSweepExports writes the campaign's CSV artefacts into a directory:
@@ -457,6 +533,13 @@ func runFigures(opts locaware.Options, which string, warmup, queries int, csv bo
 			if len(r.Trials) > 0 && r.Trials[0].Runtime != nil {
 				fmt.Printf("\n== %s (trial 0) ", r.Protocol)
 				fmt.Print(r.Trials[0].Runtime.Report())
+			}
+		}
+	}
+	if recorder != nil {
+		for _, r := range cmp.Sets {
+			if len(r.Trials) > 0 {
+				printTraces(fmt.Sprintf("%s (trial 0)", r.Protocol), r.Trials[0])
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/p2prepro/locaware/internal/core"
 	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/sweep"
+	"github.com/p2prepro/locaware/internal/trace"
 )
 
 // Options configures campaign execution — shared by the in-process
@@ -39,6 +40,13 @@ type Options struct {
 	// summary line per interval (done/leased/resumed/reissued counts,
 	// EWMA rate, ETA) on Logf.
 	Progress time.Duration
+	// TracePolicy, when non-nil, attaches a tail-sampling flight recorder
+	// to every cell run; each completed cell then ships its worst-case
+	// query trace (sweep.CellResult.Exemplar) to the coordinator, which
+	// serves the collection on /traces. Like Obs, the policy is excluded
+	// from the campaign content hash, so traced and untraced campaigns
+	// share checkpoints and the coordinator/worker interlock still matches.
+	TracePolicy *trace.Policy
 }
 
 // DefaultLeaseTimeout is the lease deadline when Options.LeaseTimeout is
@@ -177,6 +185,10 @@ func Run(base core.Config, spec *sweep.Spec, workers int, opt Options) (*sweep.C
 		// Instrument every cell run; Obs is excluded from the content
 		// hash, so resumability and checkpoint identity are unchanged.
 		base.Obs = opt.Obs
+	}
+	if opt.TracePolicy != nil {
+		// Record every cell run; like Obs, the policy is hash-excluded.
+		base.TracePolicy = opt.TracePolicy
 	}
 	pr, err := prepare(base, spec, opt)
 	if err != nil {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -313,10 +315,76 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Status())
 	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if cell := r.URL.Query().Get("cell"); cell != "" {
+			idx, err := strconv.Atoi(cell)
+			if err != nil {
+				http.Error(w, "traces: cell wants an integer index", http.StatusBadRequest)
+				return
+			}
+			body, ok := c.traceFor(idx)
+			if !ok {
+				http.Error(w, fmt.Sprintf("no exemplar trace for cell %d", idx), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, body)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, c.traceIndex())
+	})
 	if c.reg != nil {
 		obs.RegisterOn(mux, c.reg)
 	}
 	return mux
+}
+
+// traceIndex renders the exemplar-trace listing: one line per completed
+// cell that shipped a worst-case trace, with the detail URL.
+func (c *Coordinator) traceIndex() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "exemplar traces: campaign %q (%s)\n", c.pr.plan.Spec().Name, shortHash(c.pr.plan.Hash()))
+	n := 0
+	for i := range c.pr.camp.Cells {
+		cr := &c.pr.camp.Cells[i]
+		if c.state[i] != cellDone || cr.Exemplar == nil {
+			continue
+		}
+		ex := cr.Exemplar
+		status := "ok"
+		if ex.Failed {
+			status = "FAILED"
+		}
+		fmt.Fprintf(&b, "  cell %-4d %-30s %s trial=%d q=%d latency=%.3fs hops=%d %s  /traces?cell=%d\n",
+			cr.Index, cr.Label(), ex.Protocol, ex.Trial, ex.Query, ex.LatencySeconds, ex.Hops, status, cr.Index)
+		n++
+	}
+	if n == 0 {
+		b.WriteString("  (none yet — cells ship exemplars only when the campaign runs with a trace policy)\n")
+	}
+	return b.String()
+}
+
+// traceFor renders one cell's exemplar trace as text.
+func (c *Coordinator) traceFor(idx int) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx < 0 || idx >= len(c.pr.camp.Cells) || c.state[idx] != cellDone {
+		return "", false
+	}
+	cr := &c.pr.camp.Cells[idx]
+	ex := cr.Exemplar
+	if ex == nil {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cell %d %s — worst query: protocol=%s trial=%d q=%d latency=%.3fs hops=%d\n",
+		cr.Index, cr.Label(), ex.Protocol, ex.Trial, ex.Query, ex.LatencySeconds, ex.Hops)
+	b.WriteString(ex.Rendered)
+	return b.String(), true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -41,6 +41,11 @@ func NewWorker(base core.Config, spec *sweep.Spec, url string, sims int, opt Opt
 		// hash, so the coordinator interlock still matches.
 		base.Obs = opt.Obs
 	}
+	if opt.TracePolicy != nil {
+		// Record every cell run so posted results carry an exemplar trace;
+		// like Obs, the policy is hash-excluded.
+		base.TracePolicy = opt.TracePolicy
+	}
 	plan, err := sweep.NewPlan(base, spec)
 	if err != nil {
 		return nil, err

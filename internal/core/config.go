@@ -15,6 +15,7 @@ import (
 	"github.com/p2prepro/locaware/internal/protocol"
 	"github.com/p2prepro/locaware/internal/scenario"
 	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/trace"
 	"github.com/p2prepro/locaware/internal/workload"
 )
 
@@ -91,6 +92,16 @@ type Config struct {
 	// tag keeps campaign fingerprints and checkpoint identity independent
 	// of whether a run is instrumented.
 	Obs *obs.Registry `json:"-"`
+
+	// TracePolicy, when non-nil, attaches a tail-sampling
+	// trace.FlightRecorder to the run: every query's events buffer only
+	// until finalize, traces matching the policy (failed / deep / slowest-N)
+	// are retained, and RunResult.Traces carries them. Like Obs, tracing is
+	// inert — per-shard trace cells merge at the sequential epoch barrier,
+	// so the parallel drain stays enabled and output is byte-identical to
+	// an untraced run — and the json tag keeps campaign fingerprints and
+	// checkpoint identity independent of whether a run is traced.
+	TracePolicy *trace.Policy `json:"-"`
 }
 
 // DefaultConfig returns the paper's evaluation setup (§5.1).

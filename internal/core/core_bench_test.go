@@ -8,6 +8,7 @@ import (
 	"github.com/p2prepro/locaware/internal/obs"
 	"github.com/p2prepro/locaware/internal/protocol"
 	"github.com/p2prepro/locaware/internal/scenario"
+	"github.com/p2prepro/locaware/internal/trace"
 )
 
 // benchConfig is a mid-scale world with accelerated arrivals, large enough
@@ -83,6 +84,43 @@ func BenchmarkInstrumentedPathAllocs(b *testing.B) {
 		}
 		if res.Runtime == nil || res.Runtime.Submitted != queries {
 			b.Fatalf("instrumentation lost the run: %+v", res.Runtime)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mallocs)/float64(uint64(b.N)*queries), "allocs/query")
+}
+
+// BenchmarkFlightRecorderPathAllocs is BenchmarkMeasuredPathAllocs with a
+// tail-sampling flight recorder attached. The recorder's steady state is
+// pooled query buffers plus a bounded slowest-N heap, and trace events flow
+// through per-shard cells into reused capacity, so the measured path must
+// stay within a few allocs/query of the untraced baseline (~42); the
+// budget this benchmark watches is ≤ 45 allocs/query.
+func BenchmarkFlightRecorderPathAllocs(b *testing.B) {
+	const queries = 500
+	b.ReportAllocs()
+	var mallocs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := benchConfig(2000, int64(i+1))
+		cfg.Protocol.Collector.Checkpoints = []int{100, 200, 300, 400, 500}
+		cfg.TracePolicy = &trace.Policy{SlowestN: 8}
+		s := NewSimulation(cfg, protocol.Locaware{})
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
+		res := s.RunMeasured(0, queries)
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		mallocs += m1.Mallocs - m0.Mallocs
+		if res.Collector.Submitted() != queries {
+			b.Fatalf("submitted %d queries", res.Collector.Submitted())
+		}
+		if len(res.Traces) != 8 {
+			b.Fatalf("recorder retained %d traces, want 8", len(res.Traces))
 		}
 		b.StartTimer()
 	}

@@ -6,6 +6,10 @@ import (
 	"github.com/p2prepro/locaware/internal/sim"
 )
 
+// MetricTraceDropped counts trace events discarded because the attached
+// tracer sink's buffer overflowed (see trace.Buffer).
+const MetricTraceDropped = "trace_events_dropped_total"
+
 // RegisterObsFamilies pre-registers every event-loop and protocol metric
 // family on reg, so a scrape surface (the campaign coordinator, a worker
 // -obs-addr) advertises the full catalog before the first instrumented
@@ -13,6 +17,7 @@ import (
 func RegisterObsFamilies(reg *obs.Registry) {
 	sim.RegisterMetrics(reg)
 	protocol.RegisterMetrics(reg)
+	reg.Counter(MetricTraceDropped, "Trace events dropped by a full tracer buffer.")
 }
 
 // RuntimeStats is one run's observability snapshot: what this simulation
@@ -43,6 +48,11 @@ type RuntimeStats struct {
 	BloomInstallCopies   uint64
 	PendingHighWater     uint64
 	FinalizeWatermarkLag uint64
+	// TraceEventsDropped counts trace events the attached tracer's buffer
+	// discarded after filling (0 when untraced or nothing dropped). A
+	// non-zero value means the trace is incomplete — raise the buffer
+	// capacity or switch to a sampling flight recorder.
+	TraceEventsDropped uint64
 	// PoolFree is the per-pool free-list occupancy at end of run.
 	PoolFree map[string]int
 }
@@ -130,6 +140,12 @@ func (s *Simulation) finishObs(res *RunResult) {
 	} else if s.obsEng != nil {
 		rs.EventsByKind = s.obsEng.EventsByKind()
 		rs.QueueDepthHighWater = s.obsEng.QueueHighWater()
+	}
+	if dc, ok := s.Network.TracerSink().(interface{ Dropped() uint64 }); ok {
+		if d := dc.Dropped(); d > 0 {
+			reg.Counter(MetricTraceDropped, "").Add(d)
+			rs.TraceEventsDropped = d
+		}
 	}
 	res.Runtime = rs
 }

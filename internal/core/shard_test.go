@@ -7,7 +7,6 @@ import (
 	"github.com/p2prepro/locaware/internal/metrics"
 	"github.com/p2prepro/locaware/internal/protocol"
 	"github.com/p2prepro/locaware/internal/sim"
-	"github.com/p2prepro/locaware/internal/trace"
 )
 
 // shardFingerprint reduces a run to the values a determinism lock cares
@@ -68,22 +67,14 @@ func TestShardedRunDeterministic(t *testing.T) {
 	}
 }
 
-// noopTracer is a do-nothing trace sink. Attaching any tracer forces the
-// sharded loop onto its sequential drain (a tracer is a cross-shard reader
-// the parallel epochs cannot serve race-free), which processes the exact
-// same events in the exact same order as the parallel drain — so comparing
-// a traced run against an untraced one pits the two drains against each
-// other on identical inputs.
-type noopTracer struct{}
-
-func (noopTracer) Emit(trace.Event) {}
-
 // TestShardedParallelMatchesSequentialProtocol locks the tentpole claim of
 // the per-shard-state refactor: with Shards > 1 the parallel epoch drain
 // (goroutine per shard) produces byte-identical metrics and per-query
-// records to the sequential drain of the same layout. Run under -race this
-// also proves the parallel drain touches no shared protocol state outside
-// the epoch barrier.
+// records to the sequential drain of the same layout (forced through the
+// forceSeq test hook, which drains every shard on one goroutine through
+// the exact same epoch schedule). Run under -race this also proves the
+// parallel drain touches no shared protocol state outside the epoch
+// barrier.
 func TestShardedParallelMatchesSequentialProtocol(t *testing.T) {
 	const peers, warmup, measured = 400, 50, 200
 	run := func(sequential bool) (shardFingerprint, []metrics.QueryRecord) {
@@ -91,9 +82,7 @@ func TestShardedParallelMatchesSequentialProtocol(t *testing.T) {
 		cfg.Shards = 4
 		cfg.Protocol.Collector = metrics.CollectorConfig{RetainRecords: true}
 		s := NewSimulation(cfg, protocol.Locaware{})
-		if sequential {
-			s.Network.Tracer = noopTracer{}
-		}
+		s.forceSeq = sequential
 		res := s.RunMeasured(warmup, measured)
 		if res.Err != nil {
 			t.Fatalf("sequential=%v: run aborted: %v", sequential, res.Err)

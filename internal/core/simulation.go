@@ -12,6 +12,7 @@ import (
 	"github.com/p2prepro/locaware/internal/protocol"
 	"github.com/p2prepro/locaware/internal/scenario"
 	"github.com/p2prepro/locaware/internal/sim"
+	"github.com/p2prepro/locaware/internal/trace"
 	"github.com/p2prepro/locaware/internal/workload"
 )
 
@@ -35,6 +36,16 @@ type Simulation struct {
 	// Cfg.Obs is set (exactly one is non-nil, matching the loop kind).
 	obsEng *sim.EngineInstr
 	obsSh  *sim.ShardedInstr
+
+	// recorder is the run's flight recorder when Cfg.TracePolicy is set; it
+	// is the tracer sink behind the network's per-shard trace cells, and
+	// RunMeasured harvests its retained traces into the result.
+	recorder *trace.FlightRecorder
+
+	// forceSeq forces the sharded loop onto the sequential epoch drain.
+	// Tracing no longer needs it (per-shard trace cells merge at the
+	// barrier); it remains as the byte-identity test hook.
+	forceSeq bool
 
 	// loop drives the run: the sharded per-locality harness when
 	// Cfg.Shards > 1 (Engine then aliases shard 0, which hosts the
@@ -191,9 +202,16 @@ func NewSimulation(cfg Config, b protocol.Behavior) *Simulation {
 	}
 	if cfg.Obs != nil {
 		// Attach instrumentation last so every engine and shard state
-		// exists. Observability is shard-confined (unlike a tracer) and
-		// never forces the sequential epoch drain.
+		// exists. Observability is shard-confined and never forces the
+		// sequential epoch drain.
 		s.attachObs(cfg.Obs)
+	}
+	if cfg.TracePolicy != nil {
+		// The flight recorder sits behind the network's per-shard trace
+		// cells, so — like the registry above — it never forces the
+		// sequential drain.
+		s.recorder = trace.NewFlightRecorder(*cfg.TracePolicy)
+		net.SetTracer(s.recorder)
 	}
 	return s
 }
@@ -228,6 +246,15 @@ type RunResult struct {
 	// Runtime is the run's observability snapshot; nil unless Config.Obs
 	// was set.
 	Runtime *RuntimeStats
+	// Traces holds the flight recorder's retained query traces (slowest
+	// first); nil unless Config.TracePolicy was set.
+	Traces []*trace.QueryTrace
+	// TracePhases holds the scenario phase-entry events the recorder saw,
+	// for export alongside Traces.
+	TracePhases []trace.Event
+	// TraceProcessing is the per-hop processing delay the run used — the
+	// attribution constant QueryTrace.Tree needs. Set iff Traces is.
+	TraceProcessing sim.Time
 }
 
 // Run submits numQueries queries at the generator's Poisson arrival times
@@ -267,12 +294,13 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 	if sh, ok := s.loop.(*sim.Sharded); ok {
 		// Route the warmup records by query id (the sharded replacement for
 		// the mid-run collector swap), and drain epochs on one goroutine
-		// per shard unless a cross-shard reader is installed: a tracer
-		// observes deliveries globally, and a scenario mutates shared
-		// substrates from shard-0 events. The sequential drain delivers the
-		// identical event order, so toggling costs nothing but wall-clock.
+		// per shard unless a scenario is attached (its dynamics mutate
+		// shared substrates from shard-0 events) or a test forces the
+		// sequential drain. Tracers no longer disable parallelism: emits go
+		// to per-shard cells merged at the barrier, and both drain modes
+		// hand the sink the identical stream.
 		s.Network.SetWarmupQueries(warmup)
-		sh.SetParallel(s.scenario == nil && s.Network.Tracer == nil)
+		sh.SetParallel(s.scenario == nil && !s.forceSeq)
 	}
 	s.scheduleSubmit(&submitEvent{s: s, warmup: warmup, total: total, ev: s.gen.Next()})
 	// Step until the last arrival has been generated (deadline known), then
@@ -310,6 +338,11 @@ func (s *Simulation) RunMeasured(warmup, measured int) *RunResult {
 		res.CacheProviderEntries += n.RI.TotalProviderEntries()
 	}
 	s.finishObs(res)
+	if s.recorder != nil {
+		res.Traces = s.recorder.Traces()
+		res.TracePhases = s.recorder.Phases()
+		res.TraceProcessing = s.Cfg.Protocol.ProcessingDelay
+	}
 	return res
 }
 

@@ -154,6 +154,19 @@ func (q Query) String() string {
 	return "q{" + strings.Join(q.Strings(), ",") + "}"
 }
 
+// AppendString appends String()'s rendering to b without intermediate
+// allocations, for callers formatting into a reused scratch buffer.
+func (q Query) AppendString(b []byte) []byte {
+	b = append(b, "q{"...)
+	for i, k := range q.Kws {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, string(k)...)
+	}
+	return append(b, '}')
+}
+
 // ExtractQuery draws a query of 1..K random keywords from filename f
 // ("to express each query, we randomly choose 1 to 3 keywords from the
 // queried filename", §5.1).

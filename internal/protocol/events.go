@@ -22,14 +22,16 @@ import (
 // never fired and is reclaimed by the GC, exactly like a dropped message
 // buffer.
 
-// queryDeliverEvent delivers a forwarded query branch to dst.
+// queryDeliverEvent delivers a forwarded query branch from src to dst.
 type queryDeliverEvent struct {
 	net *Network
+	src overlay.PeerID
 	dst overlay.PeerID
 	msg *QueryMsg
 }
 
 func (ev *queryDeliverEvent) EventDst() int     { return int(ev.dst) }
+func (ev *queryDeliverEvent) EventSrc() int     { return int(ev.src) }
 func (ev *queryDeliverEvent) EventName() string { return "query-deliver" }
 
 func (ev *queryDeliverEvent) Fire(e *sim.Engine) {
@@ -41,14 +43,14 @@ func (ev *queryDeliverEvent) Fire(e *sim.Engine) {
 	st.qdFree = append(st.qdFree, ev)
 }
 
-func (st *shardState) acquireQueryDeliver(net *Network, dst overlay.PeerID, msg *QueryMsg) *queryDeliverEvent {
+func (st *shardState) acquireQueryDeliver(net *Network, src, dst overlay.PeerID, msg *QueryMsg) *queryDeliverEvent {
 	if n := len(st.qdFree); n > 0 {
 		ev := st.qdFree[n-1]
 		st.qdFree = st.qdFree[:n-1]
-		ev.dst, ev.msg = dst, msg
+		ev.src, ev.dst, ev.msg = src, dst, msg
 		return ev
 	}
-	return &queryDeliverEvent{net: net, dst: dst, msg: msg}
+	return &queryDeliverEvent{net: net, src: src, dst: dst, msg: msg}
 }
 
 // responseDeliverEvent advances a response one hop to dst on the reverse
@@ -57,11 +59,13 @@ func (st *shardState) acquireQueryDeliver(net *Network, dst overlay.PeerID, msg 
 // hop.
 type responseDeliverEvent struct {
 	net *Network
+	src overlay.PeerID
 	dst overlay.PeerID
 	rsp *ResponseMsg
 }
 
 func (ev *responseDeliverEvent) EventDst() int     { return int(ev.dst) }
+func (ev *responseDeliverEvent) EventSrc() int     { return int(ev.src) }
 func (ev *responseDeliverEvent) EventName() string { return "response-deliver" }
 
 func (ev *responseDeliverEvent) Fire(e *sim.Engine) {
@@ -72,14 +76,14 @@ func (ev *responseDeliverEvent) Fire(e *sim.Engine) {
 	st.rdFree = append(st.rdFree, ev)
 }
 
-func (st *shardState) acquireResponseDeliver(net *Network, dst overlay.PeerID, rsp *ResponseMsg) *responseDeliverEvent {
+func (st *shardState) acquireResponseDeliver(net *Network, src, dst overlay.PeerID, rsp *ResponseMsg) *responseDeliverEvent {
 	if n := len(st.rdFree); n > 0 {
 		ev := st.rdFree[n-1]
 		st.rdFree = st.rdFree[:n-1]
-		ev.dst, ev.rsp = dst, rsp
+		ev.src, ev.dst, ev.rsp = src, dst, rsp
 		return ev
 	}
-	return &responseDeliverEvent{net: net, dst: dst, rsp: rsp}
+	return &responseDeliverEvent{net: net, src: src, dst: dst, rsp: rsp}
 }
 
 // finalizeEvent seals query id's record FinalizeAfter after submission. It
@@ -175,6 +179,7 @@ type bloomInstallEvent struct {
 }
 
 func (ev *bloomInstallEvent) EventDst() int     { return int(ev.dst) }
+func (ev *bloomInstallEvent) EventSrc() int     { return int(ev.from) }
 func (ev *bloomInstallEvent) EventName() string { return "bloom-install" }
 
 func (ev *bloomInstallEvent) Fire(e *sim.Engine) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"strconv"
 
 	"github.com/p2prepro/locaware/internal/bloom"
 	"github.com/p2prepro/locaware/internal/cache"
@@ -214,6 +215,25 @@ type shardState struct {
 	// plain local counters folded into the shared registry at sequential
 	// epoch boundaries, so the hot path stays uncontended and alloc-free.
 	instr *shardInstr
+
+	// tr, when non-nil, receives this shard's trace events: the shard's
+	// trace.Cell under the sharded runner (merged into the sink at the
+	// sequential epoch flush, so tracing does not force the sequential
+	// drain), or the sink itself on the single-queue path.
+	tr trace.Tracer
+	// traceWant is the sink's kind-interest bitmask (trace.WantMask): emits
+	// of kinds the sink discards — gossip under a flight recorder — are
+	// skipped before the event (or its detail string) is built.
+	traceWant uint32
+	// detailBuf is the reusable scratch trace-detail strings are built in,
+	// so a traced hot path pays one string copy per annotated event instead
+	// of a fmt.Sprintf.
+	detailBuf []byte
+}
+
+// traces reports whether kind k should be emitted on this shard.
+func (st *shardState) traces(k trace.Kind) bool {
+	return st.tr != nil && st.traceWant&(1<<k) != 0
 }
 
 func newShardState(idx int, eng *sim.Engine, rng *rand.Rand, sharded bool) *shardState {
@@ -304,11 +324,17 @@ type Network struct {
 	// flushIDs is the epoch flush's reusable sort scratch.
 	flushIDs []QueryID
 
-	// Tracer, when non-nil, receives a structured event for every
-	// significant protocol action. Tracing a paper-scale run is cheap
-	// with a bounded trace.Buffer. A tracer is a cross-shard sink: the
-	// harness runs traced sharded runs with sequential epoch drains.
-	Tracer trace.Tracer
+	// traceSink, when non-nil, receives a structured event for every
+	// significant protocol action (set via SetTracer). Tracing a
+	// paper-scale run is cheap with a bounded trace.Buffer or a sampling
+	// trace.FlightRecorder. On the single-queue path events pass straight
+	// through; under the sharded runner each shard buffers into its own
+	// traceCol cell and the collector merges them — in ascending
+	// (time, QueryID, shard) order — at the sequential epoch flush, so the
+	// sink sees one deterministic stream whichever way the epoch drained
+	// and tracing no longer forces the sequential drain.
+	traceSink trace.Tracer
+	traceCol  *trace.Collector
 
 	// obsReg / obsLag / obsLagHW back the observability layer (obs.go):
 	// the shared registry, the watermark-lag gauge, and the run-local lag
@@ -441,24 +467,68 @@ func (net *Network) stateOn(eng *sim.Engine) *shardState { return net.states[eng
 // shard's clock mid-epoch would race with that shard's drain goroutine.
 func (net *Network) nowFor(n *Node) sim.Time { return net.stateFor(n).eng.Now() }
 
-// emit sends a trace event when tracing is enabled. detail is built lazily
-// so disabled tracing costs one nil check. Tracing forces sequential epoch
-// drains, so the control engine's clock is the delivery clock.
-func (net *Network) emit(k trace.Kind, query QueryID, peer, from overlay.PeerID, detail func() string) {
-	if net.Tracer == nil {
+// SetTracer attaches (or, with nil, detaches) a tracer. On the
+// single-queue path every shard emit goes straight to tr; under the
+// sharded runner a per-shard cell collector is wired so emits stay
+// shard-confined and merge deterministically at the epoch flush. Call
+// before the run starts.
+func (net *Network) SetTracer(tr trace.Tracer) {
+	net.traceSink = tr
+	net.traceCol = nil
+	if tr == nil {
+		for _, st := range net.states {
+			st.tr, st.traceWant = nil, 0
+		}
 		return
 	}
-	var d string
-	if detail != nil {
-		d = detail()
+	// Interest is the sink's even under sharding, where st.tr is a merge
+	// cell: a kind the sink discards need not transit the cells either.
+	want := trace.WantMask(tr)
+	if !net.sharded {
+		net.states[0].tr, net.states[0].traceWant = tr, want
+		return
 	}
-	net.Tracer.Emit(trace.Event{
-		At:     net.Engine.Now(),
+	net.traceCol = trace.NewCollector(tr, len(net.states))
+	for i, st := range net.states {
+		st.tr, st.traceWant = net.traceCol.Cell(i), want
+	}
+}
+
+// TracerSink returns the tracer attached with SetTracer (nil when
+// untraced).
+func (net *Network) TracerSink() trace.Tracer { return net.traceSink }
+
+// TraceEnabled reports whether a tracer is attached; callers use it to
+// skip building detail strings on untraced runs.
+func (net *Network) TraceEnabled() bool { return net.traceSink != nil }
+
+// EmitControl emits a control-plane trace event (no peer, no query) at the
+// control shard's current time. It must be called from an event firing on
+// the control shard — scenario phase boundaries do — so the event lands in
+// shard 0's cell rather than racing the parallel drain.
+func (net *Network) EmitControl(k trace.Kind, detail string) {
+	st := net.states[0]
+	if !st.traces(k) {
+		return
+	}
+	st.tr.Emit(trace.Event{At: st.eng.Now(), Kind: k, Peer: -1, From: -1, Detail: detail})
+}
+
+// emit sends a trace event on st's shard when tracing is enabled; detail
+// annotations that cost an allocation are built by the call sites behind
+// their own st.tr check. The timestamp is st's own engine clock, which the
+// firing event's goroutine may always read.
+func (net *Network) emit(st *shardState, k trace.Kind, query QueryID, peer, from overlay.PeerID, detail string) {
+	if !st.traces(k) {
+		return
+	}
+	st.tr.Emit(trace.Event{
+		At:     st.eng.Now(),
 		Kind:   k,
 		Query:  uint64(query),
 		Peer:   int(peer),
 		From:   int(from),
-		Detail: d,
+		Detail: detail,
 	})
 }
 
@@ -589,10 +659,12 @@ func (net *Network) gossipBlooms(eng *sim.Engine, st *shardState) {
 			}
 			st.controlMessages++
 			st.controlBits += uint64(sizeBits)
-			if net.Tracer != nil {
-				net.emit(trace.BloomGossip, 0, nb, from, func() string {
-					return fmt.Sprintf("delta=%dbits", sizeBits)
-				})
+			if st.traces(trace.BloomGossip) {
+				d := append(st.detailBuf[:0], "delta="...)
+				d = strconv.AppendInt(d, int64(sizeBits), 10)
+				d = append(d, "bits"...)
+				st.detailBuf = d
+				net.emit(st, trace.BloomGossip, 0, nb, from, string(d))
 			}
 			if net.sharded && net.shardIdx(int(nb)) != st.idx {
 				// Cross-shard installs carry an owned copy taken now: the
@@ -648,7 +720,11 @@ func (net *Network) runSubmit(eng *sim.Engine, st *shardState, id QueryID, origi
 		in.pendingHW.Observe(uint64(len(st.pending)))
 	}
 	eng.PostEvent(net.Config.FinalizeAfter, st.acquireFinalize(net, id, origin))
-	net.emit(trace.QuerySubmit, id, origin, -1, q.String)
+	if st.traces(trace.QuerySubmit) {
+		d := q.AppendString(st.detailBuf[:0])
+		st.detailBuf = d
+		net.emit(st, trace.QuerySubmit, id, origin, -1, string(d))
+	}
 	if !net.Graph.Online(origin) {
 		return
 	}
@@ -664,7 +740,7 @@ func (net *Network) runSubmit(eng *sim.Engine, st *shardState, id QueryID, origi
 		if in := st.instr; in != nil {
 			in.storageHits.Inc()
 		}
-		net.emit(trace.StorageHit, id, origin, -1, f.String)
+		net.emit(st, trace.StorageHit, id, origin, -1, f.String())
 		return
 	}
 	if ms := n.RI.Lookup(q, eng.Now()); len(ms) != 0 {
@@ -673,8 +749,8 @@ func (net *Network) runSubmit(eng *sim.Engine, st *shardState, id QueryID, origi
 			if in := st.instr; in != nil {
 				in.cacheHits.Inc()
 			}
-			net.emit(trace.CacheHit, id, origin, -1, ms[0].File.String)
-			net.completeDownload(id, pq, n, ms[0].File, prov, 0)
+			net.emit(st, trace.CacheHit, id, origin, -1, ms[0].File.String())
+			net.completeDownload(st, id, pq, n, ms[0].File, prov, 0)
 			return
 		}
 	}
@@ -732,9 +808,9 @@ func (net *Network) forward(eng *sim.Engine, st *shardState, n *Node, q *QueryMs
 		branch.OriginLoc = q.OriginLoc
 		branch.TTL = q.TTL - 1
 		branch.Path = append(append(branch.Path[:0], q.Path...), t)
-		net.send(eng, n.ID, t, st.acquireQueryDeliver(net, t, branch))
+		net.send(eng, n.ID, t, st.acquireQueryDeliver(net, n.ID, t, branch))
 		net.countMessage(st, q.ID)
-		net.emit(trace.QueryForward, q.ID, t, n.ID, nil)
+		net.emit(st, trace.QueryForward, q.ID, t, n.ID, "")
 	}
 }
 
@@ -805,7 +881,7 @@ func (net *Network) receiveQuery(eng *sim.Engine, st *shardState, p overlay.Peer
 	}
 	n := net.nodes[p]
 	if n.seen[q.ID] {
-		net.emit(trace.QueryDuplicate, q.ID, p, -1, nil)
+		net.emit(st, trace.QueryDuplicate, q.ID, p, -1, "")
 		return // duplicate: already counted at send time
 	}
 	net.markSeen(st, n, q.ID, pq)
@@ -815,7 +891,7 @@ func (net *Network) receiveQuery(eng *sim.Engine, st *shardState, p overlay.Peer
 		if in := st.instr; in != nil {
 			in.storageHits.Inc()
 		}
-		net.emit(trace.StorageHit, q.ID, p, -1, f.String)
+		net.emit(st, trace.StorageHit, q.ID, p, -1, f.String())
 		rsp := st.acquireResponse()
 		rsp.ID = q.ID
 		rsp.File = f
@@ -836,7 +912,7 @@ func (net *Network) receiveQuery(eng *sim.Engine, st *shardState, p overlay.Peer
 		if in := st.instr; in != nil {
 			in.cacheHits.Inc()
 		}
-		net.emit(trace.CacheHit, q.ID, p, -1, m.File.String)
+		net.emit(st, trace.CacheHit, q.ID, p, -1, m.File.String())
 		rsp := st.acquireResponse()
 		rsp.ID = q.ID
 		rsp.File = m.File
@@ -929,8 +1005,8 @@ func (net *Network) sendResponse(eng *sim.Engine, st *shardState, from overlay.P
 	next := rsp.Path[len(rsp.Path)-1]
 	rsp.Path = rsp.Path[:len(rsp.Path)-1]
 	net.countMessage(st, rsp.ID)
-	net.emit(trace.ResponseHop, rsp.ID, next, from, nil)
-	net.send(eng, from, next, st.acquireResponseDeliver(net, next, rsp))
+	net.emit(st, trace.ResponseHop, rsp.ID, next, from, "")
+	net.send(eng, from, next, st.acquireResponseDeliver(net, from, next, rsp))
 }
 
 // deliverResponse processes the response at peer p: caching, then either
@@ -944,7 +1020,7 @@ func (net *Network) deliverResponse(eng *sim.Engine, st *shardState, p overlay.P
 	before := n.RI.Inserts() + n.RI.Refreshes()
 	net.Behavior.CacheResponse(net, n, rsp)
 	if n.RI.Inserts()+n.RI.Refreshes() != before {
-		net.emit(trace.ResponseCached, rsp.ID, p, -1, rsp.File.String)
+		net.emit(st, trace.ResponseCached, rsp.ID, p, -1, rsp.File.String())
 	}
 	if p == rsp.Origin {
 		net.completeQuery(st, n, rsp)
@@ -967,20 +1043,27 @@ func (net *Network) completeQuery(st *shardState, n *Node, rsp *ResponseMsg) {
 		return // all advertised providers are gone; await another response
 	}
 	pq.fromCache = !rsp.FromStorage
-	net.completeDownload(rsp.ID, pq, n, rsp.File, prov, rsp.HitHops)
+	net.completeDownload(st, rsp.ID, pq, n, rsp.File, prov, rsp.HitHops)
 }
 
 // completeDownload finalises the download bookkeeping: distance metric and
-// natural replication (the requester becomes a provider, §3.1).
-func (net *Network) completeDownload(id QueryID, pq *pendingQuery, n *Node, f keywords.Filename, prov cache.Provider, hops int) {
+// natural replication (the requester becomes a provider, §3.1). st is the
+// shard owning n (the origin).
+func (net *Network) completeDownload(st *shardState, id QueryID, pq *pendingQuery, n *Node, f keywords.Filename, prov cache.Provider, hops int) {
 	pq.answered = true
 	pq.rtt = net.Model.RTT(int(n.ID), int(prov.Peer))
 	pq.sameLoc = prov.LocID == n.Loc
 	pq.hops = hops
 	n.AddFile(f)
-	net.emit(trace.DownloadComplete, id, n.ID, prov.Peer, func() string {
-		return fmt.Sprintf("%s rtt=%.1fms sameLoc=%v", f.String(), pq.rtt, pq.sameLoc)
-	})
+	if st.tr != nil {
+		d := append(st.detailBuf[:0], f.String()...)
+		d = append(d, " rtt="...)
+		d = strconv.AppendFloat(d, pq.rtt, 'f', 1, 64)
+		d = append(d, "ms sameLoc="...)
+		d = strconv.AppendBool(d, pq.sameLoc)
+		st.detailBuf = d
+		net.emit(st, trace.DownloadComplete, id, n.ID, prov.Peer, string(d))
+	}
 }
 
 // liveProviders filters out offline providers (stale indexes under churn)
@@ -1024,8 +1107,9 @@ func (net *Network) finalize(st *shardState, id QueryID) {
 		in.finalized.Inc()
 	}
 	if !pq.answered {
-		net.emit(trace.QueryFailed, id, pq.origin, -1, nil)
+		net.emit(st, trace.QueryFailed, id, pq.origin, -1, "")
 	}
+	net.emit(st, trace.QueryFinalize, id, pq.origin, -1, "")
 	if net.sharded {
 		st.finished = append(st.finished, id)
 		return
@@ -1060,6 +1144,12 @@ func (net *Network) lookupPending(id QueryID) (*pendingQuery, *shardState) {
 func (net *Network) EpochFlush() {
 	if !net.sharded {
 		return
+	}
+	if net.traceCol != nil {
+		// Merge the epoch's per-shard trace cells into the sink first —
+		// unconditionally, because cells may hold events (gossip,
+		// duplicates) even when no query finalised this epoch.
+		net.traceCol.Flush()
 	}
 	for _, st := range net.states {
 		if len(st.msgDelta) == 0 {

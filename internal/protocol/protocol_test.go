@@ -605,7 +605,7 @@ func TestTracingLifecycle(t *testing.T) {
 	cfg := DefaultConfig()
 	net := testNet(t, Flooding{}, linePoints(4), lineEdges(4), cfg)
 	buf := trace.NewBuffer(1000)
-	net.Tracer = buf
+	net.SetTracer(buf)
 	f := fname("traced", "file")
 	net.Node(3).AddFile(f)
 	net.SubmitQuery(0, keywords.NewQuery("traced"))
@@ -645,7 +645,7 @@ func TestTracingFailureAndDuplicate(t *testing.T) {
 	net := testNet(t, Flooding{}, []netmodel.Point{{X: 100, Y: 100}, {X: 200, Y: 50}, {X: 200, Y: 150}, {X: 300, Y: 100}},
 		[][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}}, cfg)
 	buf := trace.NewBuffer(1000)
-	net.Tracer = buf
+	net.SetTracer(buf)
 	net.SubmitQuery(0, keywords.NewQuery("absent"))
 	runAll(net)
 	net.FlushPending()
@@ -662,7 +662,7 @@ func TestTracingGossip(t *testing.T) {
 	cfg.BloomGossipPeriod = 2 * sim.Second
 	net := testNet(t, Locaware{}, linePoints(3), lineEdges(3), cfg)
 	buf := trace.NewBuffer(1000)
-	net.Tracer = buf
+	net.SetTracer(buf)
 	f := fname("gossiped")
 	n1 := net.Node(1)
 	n1.Gid = gidOfName(f.String(), cfg.GroupCount)
@@ -805,7 +805,7 @@ func TestFlushPendingDeterministicOrder(t *testing.T) {
 		cfg.FinalizeAfter = 10 * sim.Minute
 		net := testNet(t, Flooding{}, linePoints(8), lineEdges(8), cfg)
 		buf := trace.NewBuffer(1 << 14)
-		net.Tracer = buf
+		net.SetTracer(buf)
 		for i := 0; i < queries; i++ {
 			net.SubmitQuery(overlay.PeerID(i%8), keywords.NewQuery("no-such-file"))
 		}

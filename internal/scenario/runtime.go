@@ -148,7 +148,7 @@ func (rt *Runtime) OnSubmit(measuredIdx int) {
 // The tracer is read at event time, not attach time: tracing harnesses
 // install it on the network after the simulation is built.
 func (rt *Runtime) tracePhase(k int) {
-	if rt.w.Net == nil || rt.w.Net.Tracer == nil {
+	if rt.w.Net == nil || !rt.w.Net.TraceEnabled() {
 		return
 	}
 	p := rt.spec.Phases[k]
@@ -160,13 +160,10 @@ func (rt *Runtime) tracePhase(k int) {
 		}
 		detail += " events=" + fmt.Sprint(kinds)
 	}
-	rt.w.Net.Tracer.Emit(trace.Event{
-		At:     rt.w.Engine.Now(),
-		Kind:   trace.PhaseEnter,
-		Peer:   -1,
-		From:   -1,
-		Detail: detail,
-	})
+	// Phase boundaries fire from submission events on the control shard, so
+	// the emit routes through shard 0's trace cell rather than writing to
+	// the sink directly — direct writes would race a parallel epoch drain.
+	rt.w.Net.EmitControl(trace.PhaseEnter, detail)
 }
 
 // enterPhase activates phase k: its churn intensity, then its entry events

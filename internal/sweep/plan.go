@@ -165,6 +165,8 @@ func (p *Plan) RunCells(cells []int, workers int, sink func(*CellResult)) error 
 	n := len(cells) * perCell
 	building := make([]*CellResult, len(cells))
 	accs := make([][]*core.RunResult, len(cells)*nProtos)
+	exemplars := make([]*ExemplarTrace, len(cells))
+	exLat := make([]sim.Time, len(cells))
 	exper.Stream(n, workers, func(j int) *core.RunResult {
 		pos := j / perCell
 		rem := j % perCell
@@ -176,8 +178,18 @@ func (p *Plan) RunCells(cells []int, workers int, sink func(*CellResult)) error 
 		return core.NewSimulation(cfg, r.behaviors[proto]).RunMeasured(r.spec.Warmup, r.spec.Queries)
 	}, func(j int, run *core.RunResult) {
 		pos := j / perCell
-		proto := (j % perCell) / r.trials
+		rem := j % perCell
+		proto := rem / r.trials
 		k := pos*nProtos + proto
+		// Exemplar fold: delivery is strict index order, so strictly-greater
+		// latency keeps the earliest (protocol, trial) on exact ties —
+		// deterministic for any worker count.
+		if len(run.Traces) > 0 {
+			if t := run.Traces[0]; exemplars[pos] == nil || t.Latency > exLat[pos] {
+				exemplars[pos] = exemplarOf(run, r.names[proto], rem%r.trials)
+				exLat[pos] = t.Latency
+			}
+		}
 		accs[k] = append(accs[k], run)
 		if len(accs[k]) < r.trials {
 			return
@@ -196,7 +208,8 @@ func (p *Plan) RunCells(cells []int, workers int, sink func(*CellResult)) error 
 		// every earlier one already has.
 		if proto == nProtos-1 {
 			cr := building[pos]
-			building[pos] = nil
+			cr.Exemplar = exemplars[pos]
+			building[pos], exemplars[pos] = nil, nil
 			sink(cr)
 		}
 	})

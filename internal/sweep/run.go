@@ -7,6 +7,7 @@ import (
 	"github.com/p2prepro/locaware/internal/core"
 	"github.com/p2prepro/locaware/internal/metrics"
 	"github.com/p2prepro/locaware/internal/protocol"
+	"github.com/p2prepro/locaware/internal/sim"
 )
 
 // ProtocolCell is one protocol's replicated result at one grid point: the
@@ -31,6 +32,55 @@ type CellResult struct {
 	Cell
 	// Protocols holds the per-protocol aggregates in campaign order.
 	Protocols []ProtocolCell
+	// Exemplar is the cell's worst-case query trace — the highest-latency
+	// trace any of the cell's runs retained — shipped alongside the
+	// aggregates so a distributed campaign surfaces concrete causal
+	// evidence, not just summary statistics. Nil unless the campaign ran
+	// with a trace policy (base Config.TracePolicy).
+	Exemplar *ExemplarTrace `json:",omitempty"`
+}
+
+// ExemplarTrace is one retained query trace selected as a cell's exemplar:
+// the slowest query observed across the cell's (protocol × trial) runs,
+// pre-rendered so coordinators and humans need no simulator state to read
+// it. Selection is deterministic: strictly higher latency wins, ties keep
+// the earliest (protocol, trial) in campaign order.
+type ExemplarTrace struct {
+	// Protocol and Trial locate the run that produced the trace.
+	Protocol string
+	Trial    int
+	// Query is the traced query's id.
+	Query uint64
+	// LatencySeconds is the query's completion latency.
+	LatencySeconds float64
+	// Failed reports the query finalised without an answer.
+	Failed bool
+	// Hops is the deepest forward chain the query reached.
+	Hops int
+	// Rendered is the trace's span-tree text timeline.
+	Rendered string
+}
+
+// exemplarOf lifts a run's slowest retained trace (runs order traces
+// slowest-first) into an exemplar, or nil when the run retained nothing.
+func exemplarOf(run *core.RunResult, protocol string, trial int) *ExemplarTrace {
+	if len(run.Traces) == 0 {
+		return nil
+	}
+	t := run.Traces[0]
+	rendered := ""
+	if tree := t.Tree(run.TraceProcessing); tree != nil {
+		rendered = tree.Render()
+	}
+	return &ExemplarTrace{
+		Protocol:       protocol,
+		Trial:          trial,
+		Query:          t.Query,
+		LatencySeconds: t.Latency.Seconds(),
+		Failed:         t.Failed,
+		Hops:           t.Hops,
+		Rendered:       rendered,
+	}
 }
 
 // Campaign is one executed sweep: the spec, the resolved identity of the
@@ -174,6 +224,7 @@ func RunCell(base core.Config, s *Spec, cell, workers int) (*CellResult, error) 
 		return nil, fmt.Errorf("sweep %q: cell %d out of range [0, %d)", s.Name, cell, len(r.cells))
 	}
 	out := &CellResult{Cell: r.cells[cell], Protocols: make([]ProtocolCell, len(r.behaviors))}
+	var exLat sim.Time
 	for p, b := range r.behaviors {
 		cfg := r.cellCfgs[cell]
 		topt := core.TrialOptions{Trials: r.trials, Workers: workers}
@@ -182,6 +233,16 @@ func RunCell(base core.Config, s *Spec, cell, workers int) (*CellResult, error) 
 			Protocol: r.names[p],
 			Summary:  tc.Summary,
 			Phases:   tc.PhaseStats,
+		}
+		// Same exemplar fold as Plan.RunCells, in the same (protocol, trial)
+		// order, so the cell stays byte-identical to a full Run's.
+		for trial, run := range tc.Runs {
+			if len(run.Traces) > 0 {
+				if t := run.Traces[0]; out.Exemplar == nil || t.Latency > exLat {
+					out.Exemplar = exemplarOf(run, r.names[p], trial)
+					exLat = t.Latency
+				}
+			}
 		}
 	}
 	return out, nil

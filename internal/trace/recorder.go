@@ -1,0 +1,438 @@
+package trace
+
+import (
+	"sort"
+
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// Policy selects which query traces a FlightRecorder retains after
+// finalize. The zero value keeps nothing; enable at least one criterion.
+type Policy struct {
+	// KeepFailed retains every query finalised without an answer.
+	KeepFailed bool
+	// MinHops retains queries whose flood reached at least this depth
+	// (maximum forward-chain length observed). 0 disables the criterion.
+	MinHops int
+	// SlowestN retains the N answered-or-failed queries with the highest
+	// completion latency, maintained in a min-heap so a million-query run
+	// costs O(N) memory. 0 disables the criterion.
+	SlowestN int
+	// MaxEventsPerQuery bounds the in-flight buffer per query; beyond it
+	// the earliest events are kept and the overflow counted in
+	// QueryTrace.Dropped. <= 0 means 256.
+	MaxEventsPerQuery int
+	// MaxKeep caps the unconditional retentions (KeepFailed / MinHops) so
+	// a pathological run cannot grow without bound. <= 0 means 64.
+	MaxKeep int
+}
+
+// enabled reports whether any retention criterion is active.
+func (p Policy) enabled() bool { return p.KeepFailed || p.MinHops > 0 || p.SlowestN > 0 }
+
+// maxEvents returns the effective per-query event cap.
+func (p Policy) maxEvents() int {
+	if p.MaxEventsPerQuery > 0 {
+		return p.MaxEventsPerQuery
+	}
+	return 256
+}
+
+// maxKeep returns the effective unconditional-retention cap.
+func (p Policy) maxKeep() int {
+	if p.MaxKeep > 0 {
+		return p.MaxKeep
+	}
+	return 64
+}
+
+// QueryTrace is one retained query's causal record.
+type QueryTrace struct {
+	// Query is the query id.
+	Query uint64
+	// Submit is the submission timestamp.
+	Submit sim.Time
+	// Latency is completion latency: download time minus submit for
+	// answered queries, finalize time minus submit for failed ones.
+	Latency sim.Time
+	// Hops is the deepest forward chain the query reached.
+	Hops int
+	// Failed reports the query finalised without an answer.
+	Failed bool
+	// Why names the retention criteria that kept the trace
+	// ("failed", "hops", "slowest", comma-joined).
+	Why string
+	// Events are the query's trace events in merged stream order.
+	Events []Event
+	// Dropped counts events discarded by the per-query buffer cap.
+	Dropped int
+}
+
+// Tree reconstructs the trace's span tree. processing is the per-hop
+// protocol processing delay used for latency attribution. The recorder's
+// outcome fields overlay the reconstruction: they are computed from the
+// full event stream, while Events may have lost its tail to the
+// per-query buffer cap (a truncated failed query would otherwise render
+// as "ok" with the latency of its last retained event).
+func (t *QueryTrace) Tree(processing sim.Time) *SpanTree {
+	tree := BuildSpanTree(t.Query, t.Events, processing)
+	if tree == nil {
+		return nil
+	}
+	tree.Failed = t.Failed
+	tree.Latency = t.Latency
+	return tree
+}
+
+// depthEntry records one peer's forward depth from the origin. A linear
+// slice beats a map here: a query touches a few dozen peers, scans stay in
+// cache, and — unlike a map — the backing array recycles with the buffer.
+type depthEntry struct {
+	peer  int
+	depth int
+}
+
+// queryBuf holds one in-flight query's events until finalize.
+type queryBuf struct {
+	events   []Event
+	depth    []depthEntry
+	maxDepth int
+	origin   int // submitting peer
+	submit   sim.Time
+	doneAt   sim.Time
+	hasDone  bool
+	failed   bool
+	dropped  int
+}
+
+// depthOf returns peer's recorded forward depth (0 if unseen).
+func (b *queryBuf) depthOf(peer int) int {
+	for _, d := range b.depth {
+		if d.peer == peer {
+			return d.depth
+		}
+	}
+	return 0
+}
+
+// noteDepth records depth d for peer, keeping the minimum on revisits.
+func (b *queryBuf) noteDepth(peer, d int) {
+	for i := range b.depth {
+		if b.depth[i].peer == peer {
+			if d < b.depth[i].depth {
+				b.depth[i].depth = d
+			}
+			return
+		}
+	}
+	b.depth = append(b.depth, depthEntry{peer: peer, depth: d})
+}
+
+func (b *queryBuf) reset() {
+	b.events = b.events[:0]
+	b.depth = b.depth[:0]
+	b.maxDepth, b.dropped = 0, 0
+	b.origin = -1
+	b.submit, b.doneAt = 0, 0
+	b.hasDone, b.failed = false, false
+}
+
+// FlightRecorder is a tail-sampling Tracer: it buffers each query's events
+// only while the query is in flight, and on QueryFinalize keeps the trace
+// iff it matches the retention policy — so the p99.9 outliers of a huge run
+// are caught in constant memory. It sits behind the shard-cell Collector
+// (or a single-queue Network directly), so Emit only ever runs on
+// sequential sections and needs no locking.
+//
+// Buffers are pooled: a finalized query's buffer (and, when a slowest-N
+// heap entry is evicted, its event slice) returns to a free list, so
+// steady-state recording allocates only retained data.
+type FlightRecorder struct {
+	pol    Policy
+	active map[uint64]*queryBuf
+	free   []*queryBuf
+	// block batch-allocates queryBuf structs: with a long finalize horizon
+	// every in-flight query holds a buffer, so fresh buffers are the common
+	// case and chunking divides their allocation count by blockSize. evSlab
+	// and dpSlab batch the buffers' initial event/depth windows the same way
+	// (capacity-capped three-index carves, so append past a window
+	// reallocates independently instead of clobbering a neighbour).
+	block  []queryBuf
+	evSlab []Event
+	dpSlab []depthEntry
+	spare  [][]Event // event slices recovered from evicted heap entries
+	kept   []*QueryTrace
+	slow   slowHeap
+	phases []Event
+	// keptOverflow counts unconditional retentions discarded by MaxKeep.
+	keptOverflow uint64
+}
+
+// NewFlightRecorder returns a recorder with the given retention policy.
+func NewFlightRecorder(pol Policy) *FlightRecorder {
+	return &FlightRecorder{pol: pol, active: make(map[uint64]*queryBuf)}
+}
+
+// Policy returns the recorder's retention policy.
+func (r *FlightRecorder) Policy() Policy { return r.pol }
+
+// WantKind implements KindFilter: the recorder tails queries (plus scenario
+// phase markers), so gossip and engine-level events can be skipped at the
+// source — on a gossiping overlay those are the bulk of the stream, and
+// each would otherwise cost a detail-string allocation just to be dropped
+// in Emit.
+func (r *FlightRecorder) WantKind(k Kind) bool {
+	return k != BloomGossip && k != EngineEvent
+}
+
+// Emit implements Tracer.
+func (r *FlightRecorder) Emit(e Event) {
+	switch e.Kind {
+	case PhaseEnter:
+		if len(r.phases) < 4096 {
+			r.phases = append(r.phases, e)
+		}
+		return
+	case BloomGossip, EngineEvent:
+		// Not query-scoped; the recorder only tails queries.
+		return
+	case QuerySubmit:
+		b := r.acquire()
+		b.submit = e.At
+		b.origin = e.Peer
+		b.events = append(b.events, e)
+		r.active[e.Query] = b
+		return
+	case QueryFinalize:
+		b := r.active[e.Query]
+		if b == nil {
+			return
+		}
+		delete(r.active, e.Query)
+		r.finish(e, b)
+		return
+	}
+	b := r.active[e.Query]
+	if b == nil {
+		// Straggler for a query submitted before the recorder attached or
+		// already finalized; ignore.
+		return
+	}
+	switch e.Kind {
+	case QueryForward:
+		d := b.depthOf(e.From) + 1
+		b.noteDepth(e.Peer, d)
+		if d > b.maxDepth {
+			b.maxDepth = d
+		}
+	case DownloadComplete:
+		b.doneAt, b.hasDone = e.At, true
+	case StorageHit:
+		// A hit on the submitter's own storage answers the query with no
+		// download; without this the trace would fall back to time-to-finalize
+		// and an instantly-answered query would rank as a slowest-N outlier.
+		// Remote storage hits complete via DownloadComplete instead.
+		if e.Peer == b.origin {
+			b.doneAt, b.hasDone = e.At, true
+		}
+	case QueryFailed:
+		b.failed = true
+	}
+	if len(b.events) >= r.pol.maxEvents() {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// finish applies the retention policy to a finalized query.
+func (r *FlightRecorder) finish(fin Event, b *queryBuf) {
+	lat := fin.At - b.submit
+	if b.hasDone {
+		lat = b.doneAt - b.submit
+	}
+	why := ""
+	if b.failed && r.pol.KeepFailed {
+		why = "failed"
+	}
+	if r.pol.MinHops > 0 && b.maxDepth >= r.pol.MinHops {
+		if why != "" {
+			why += ",hops"
+		} else {
+			why = "hops"
+		}
+	}
+	if why != "" {
+		if len(r.kept) >= r.pol.maxKeep() {
+			r.keptOverflow++
+			r.release(b)
+			return
+		}
+		r.kept = append(r.kept, r.seal(b, lat, why))
+		return
+	}
+	if r.pol.SlowestN > 0 {
+		if len(r.slow) < r.pol.SlowestN {
+			r.slow.push(r.seal(b, lat, "slowest"))
+			return
+		}
+		if slowLess(r.slow[0].Latency, r.slow[0].Query, lat, fin.Query) {
+			evicted := r.slow.replaceMin(r.seal(b, lat, "slowest"))
+			r.spare = append(r.spare, evicted.Events[:0])
+			return
+		}
+	}
+	r.release(b)
+}
+
+// seal converts a finalized buffer into a retained QueryTrace, handing the
+// event slice's ownership to the trace and recycling the rest of the
+// buffer.
+func (r *FlightRecorder) seal(b *queryBuf, lat sim.Time, why string) *QueryTrace {
+	q := b.events[0].Query
+	t := &QueryTrace{
+		Query:   q,
+		Submit:  b.submit,
+		Latency: lat,
+		Hops:    b.maxDepth,
+		Failed:  b.failed,
+		Why:     why,
+		Events:  b.events,
+		Dropped: b.dropped,
+	}
+	b.events = nil
+	r.release(b)
+	return t
+}
+
+func (r *FlightRecorder) acquire() *queryBuf {
+	if n := len(r.free); n > 0 {
+		b := r.free[n-1]
+		r.free = r.free[:n-1]
+		return b
+	}
+	if len(r.block) == 0 {
+		r.block = make([]queryBuf, 64)
+	}
+	b := &r.block[0]
+	r.block = r.block[1:]
+	if n := len(r.spare); n > 0 {
+		b.events = r.spare[n-1]
+		r.spare = r.spare[:n-1]
+	} else {
+		// Pre-sized for a typical flood: growth chains per in-flight query
+		// would dominate (buffers recycle only after finalize, 30 virtual
+		// seconds out, so most queries pay the initial window).
+		if len(r.evSlab) < 64 {
+			r.evSlab = make([]Event, 64*64)
+		}
+		b.events = r.evSlab[0:0:64]
+		r.evSlab = r.evSlab[64:]
+	}
+	if b.depth == nil {
+		if len(r.dpSlab) < 64 {
+			r.dpSlab = make([]depthEntry, 64*64)
+		}
+		b.depth = r.dpSlab[0:0:64]
+		r.dpSlab = r.dpSlab[64:]
+	}
+	return b
+}
+
+func (r *FlightRecorder) release(b *queryBuf) {
+	if b.events == nil {
+		if n := len(r.spare); n > 0 {
+			b.events = r.spare[n-1]
+			r.spare = r.spare[:n-1]
+		}
+	}
+	b.reset()
+	r.free = append(r.free, b)
+}
+
+// Traces returns the retained traces, slowest first (ties broken by
+// ascending query id). The order is deterministic.
+func (r *FlightRecorder) Traces() []*QueryTrace {
+	out := make([]*QueryTrace, 0, len(r.kept)+len(r.slow))
+	out = append(out, r.kept...)
+	out = append(out, r.slow...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Latency != out[j].Latency {
+			return out[i].Latency > out[j].Latency
+		}
+		return out[i].Query < out[j].Query
+	})
+	return out
+}
+
+// Phases returns the scenario phase-entry events observed during the run.
+func (r *FlightRecorder) Phases() []Event {
+	out := make([]Event, len(r.phases))
+	copy(out, r.phases)
+	return out
+}
+
+// InFlight returns how many queries are currently buffered.
+func (r *FlightRecorder) InFlight() int { return len(r.active) }
+
+// KeptOverflow counts unconditional retentions discarded by Policy.MaxKeep.
+func (r *FlightRecorder) KeptOverflow() uint64 { return r.keptOverflow }
+
+// slowLess reports whether heap entry (aLat, aQ) ranks strictly below a
+// candidate (lat, q): the candidate displaces the minimum iff it is
+// strictly slower, or equally slow with a smaller query id (earlier
+// queries win exact ties, keeping the selection deterministic).
+func slowLess(aLat sim.Time, aQ uint64, lat sim.Time, q uint64) bool {
+	if aLat != lat {
+		return aLat < lat
+	}
+	return q < aQ
+}
+
+// slowHeap is a min-heap of retained traces keyed by (Latency, then
+// descending Query), so the root is always the entry the next slower
+// candidate evicts.
+type slowHeap []*QueryTrace
+
+func (h slowHeap) less(i, j int) bool {
+	if h[i].Latency != h[j].Latency {
+		return h[i].Latency < h[j].Latency
+	}
+	return h[i].Query > h[j].Query
+}
+
+func (h *slowHeap) push(t *QueryTrace) {
+	*h = append(*h, t)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+// replaceMin swaps the heap minimum for t and returns the evicted entry.
+func (h *slowHeap) replaceMin(t *QueryTrace) *QueryTrace {
+	old := (*h)[0]
+	(*h)[0] = t
+	i, n := 0, len(*h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return old
+}

@@ -1,0 +1,327 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// query emits a minimal query lifecycle into r: submit at t0 on origin,
+// depth forwards, then either a download at doneAt or a failure, and the
+// finalize marker at finAt.
+func emitQuery(r *FlightRecorder, q uint64, origin int, t0 sim.Time, depth int, doneAt, finAt sim.Time, failed bool) {
+	r.Emit(Event{At: t0, Kind: QuerySubmit, Query: q, Peer: origin, From: -1})
+	prev := origin
+	for i := 0; i < depth; i++ {
+		at := t0 + sim.Time(i+1)*sim.Millisecond
+		r.Emit(Event{At: at, Kind: QueryForward, Query: q, Peer: prev + 100 + i, From: prev})
+		prev = prev + 100 + i
+	}
+	if failed {
+		r.Emit(Event{At: finAt, Kind: QueryFailed, Query: q, Peer: origin, From: -1})
+	} else if doneAt > 0 {
+		r.Emit(Event{At: doneAt, Kind: DownloadComplete, Query: q, Peer: origin, From: -1})
+	}
+	r.Emit(Event{At: finAt, Kind: QueryFinalize, Query: q, Peer: origin, From: -1})
+}
+
+func TestFlightRecorderKeepFailed(t *testing.T) {
+	r := NewFlightRecorder(Policy{KeepFailed: true})
+	emitQuery(r, 1, 5, sim.Second, 2, 0, sim.Second+30*sim.Second, true)
+	emitQuery(r, 2, 6, 2*sim.Second, 2, 2*sim.Second+200*sim.Millisecond, 2*sim.Second+30*sim.Second, false)
+	traces := r.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Query != 1 || !tr.Failed || tr.Why != "failed" {
+		t.Fatalf("trace = %+v", tr)
+	}
+	// A failed query's latency is time-to-finalize.
+	if tr.Latency != 30*sim.Second {
+		t.Fatalf("failed latency = %v, want 30s", tr.Latency)
+	}
+	if r.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after finalize", r.InFlight())
+	}
+}
+
+func TestFlightRecorderMinHops(t *testing.T) {
+	r := NewFlightRecorder(Policy{MinHops: 3})
+	emitQuery(r, 1, 5, sim.Second, 2, sim.Second+sim.Millisecond*50, sim.Second+30*sim.Second, false)
+	emitQuery(r, 2, 6, 2*sim.Second, 4, 2*sim.Second+sim.Millisecond*50, 2*sim.Second+30*sim.Second, false)
+	traces := r.Traces()
+	if len(traces) != 1 || traces[0].Query != 2 || traces[0].Hops != 4 || traces[0].Why != "hops" {
+		t.Fatalf("traces = %+v", traces)
+	}
+}
+
+// TestFlightRecorderSlowestN locks the min-heap sampling: only the N
+// highest-latency queries survive, with strictly-slower (or equally slow,
+// smaller id) candidates displacing the minimum, and Traces() returning
+// them slowest-first.
+func TestFlightRecorderSlowestN(t *testing.T) {
+	r := NewFlightRecorder(Policy{SlowestN: 3})
+	lat := []sim.Time{ // per query 1..6, in ms
+		40 * sim.Millisecond,
+		90 * sim.Millisecond,
+		10 * sim.Millisecond,
+		70 * sim.Millisecond,
+		50 * sim.Millisecond,
+		40 * sim.Millisecond, // ties query 1: earlier query must win
+	}
+	for i, l := range lat {
+		t0 := sim.Time(i+1) * sim.Second
+		emitQuery(r, uint64(i+1), i, t0, 1, t0+l, t0+30*sim.Second, false)
+	}
+	traces := r.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("kept %d traces, want 3", len(traces))
+	}
+	gotQ := [3]uint64{traces[0].Query, traces[1].Query, traces[2].Query}
+	if gotQ != [3]uint64{2, 4, 5} {
+		t.Fatalf("slowest-first order = %v, want [2 4 5]", gotQ)
+	}
+	for _, tr := range traces {
+		if tr.Why != "slowest" {
+			t.Fatalf("why = %q", tr.Why)
+		}
+	}
+}
+
+// TestFlightRecorderSlowestTie pins the eviction tie-break: an equally-slow
+// later query must NOT displace an earlier one already in a full heap.
+func TestFlightRecorderSlowestTie(t *testing.T) {
+	r := NewFlightRecorder(Policy{SlowestN: 1})
+	const l = 25 * sim.Millisecond
+	emitQuery(r, 1, 0, sim.Second, 1, sim.Second+l, sim.Second+30*sim.Second, false)
+	emitQuery(r, 2, 1, 2*sim.Second, 1, 2*sim.Second+l, 2*sim.Second+30*sim.Second, false)
+	traces := r.Traces()
+	if len(traces) != 1 || traces[0].Query != 1 {
+		t.Fatalf("tie kept query %d, want 1", traces[0].Query)
+	}
+}
+
+// TestFlightRecorderLocalStorageHit locks the local-answer completion rule:
+// a hit on the submitter's own storage ends the query then and there, so
+// its latency is ~0, not the 30s time-to-finalize — without this every
+// locally answered query would rank as a slowest-N outlier. A storage hit
+// at a *remote* peer must not complete the query (its download does).
+func TestFlightRecorderLocalStorageHit(t *testing.T) {
+	r := NewFlightRecorder(Policy{SlowestN: 2})
+	// Query 1: local storage hit at submit time.
+	r.Emit(Event{At: sim.Second, Kind: QuerySubmit, Query: 1, Peer: 5, From: -1})
+	r.Emit(Event{At: sim.Second, Kind: StorageHit, Query: 1, Peer: 5, From: -1})
+	r.Emit(Event{At: sim.Second + 30*sim.Second, Kind: QueryFinalize, Query: 1, Peer: 5, From: -1})
+	// Query 2: remote storage hit, download completes 80ms in.
+	t0 := 2 * sim.Second
+	r.Emit(Event{At: t0, Kind: QuerySubmit, Query: 2, Peer: 6, From: -1})
+	r.Emit(Event{At: t0 + 10*sim.Millisecond, Kind: QueryForward, Query: 2, Peer: 7, From: 6})
+	r.Emit(Event{At: t0 + 30*sim.Millisecond, Kind: StorageHit, Query: 2, Peer: 7, From: -1})
+	r.Emit(Event{At: t0 + 80*sim.Millisecond, Kind: DownloadComplete, Query: 2, Peer: 6, From: 7})
+	r.Emit(Event{At: t0 + 30*sim.Second, Kind: QueryFinalize, Query: 2, Peer: 6, From: -1})
+	traces := r.Traces()
+	if len(traces) != 2 {
+		t.Fatalf("kept %d traces, want 2", len(traces))
+	}
+	// Slowest first: query 2 (80ms) then query 1 (0).
+	if traces[0].Query != 2 || traces[0].Latency != 80*sim.Millisecond {
+		t.Fatalf("remote-hit trace = q%d latency=%v, want q2 80ms", traces[0].Query, traces[0].Latency)
+	}
+	if traces[1].Query != 1 || traces[1].Latency != 0 {
+		t.Fatalf("local-hit trace = q%d latency=%v, want q1 0", traces[1].Query, traces[1].Latency)
+	}
+}
+
+func TestFlightRecorderMaxKeepOverflow(t *testing.T) {
+	r := NewFlightRecorder(Policy{KeepFailed: true, MaxKeep: 2})
+	for q := uint64(1); q <= 5; q++ {
+		t0 := sim.Time(q) * sim.Second
+		emitQuery(r, q, int(q), t0, 1, 0, t0+30*sim.Second, true)
+	}
+	if got := len(r.Traces()); got != 2 {
+		t.Fatalf("kept %d traces, want MaxKeep=2", got)
+	}
+	if r.KeptOverflow() != 3 {
+		t.Fatalf("overflow = %d, want 3", r.KeptOverflow())
+	}
+}
+
+func TestFlightRecorderEventCap(t *testing.T) {
+	r := NewFlightRecorder(Policy{KeepFailed: true, MaxEventsPerQuery: 4})
+	emitQuery(r, 1, 5, sim.Second, 10, 0, sim.Second+30*sim.Second, true)
+	traces := r.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("kept %d traces", len(traces))
+	}
+	tr := traces[0]
+	if len(tr.Events) != 4 {
+		t.Fatalf("retained %d events, want cap 4", len(tr.Events))
+	}
+	// 12 lifecycle events total (submit + 10 forwards + failed; finalize is
+	// consumed, not buffered), 4 kept.
+	if tr.Dropped != 8 {
+		t.Fatalf("dropped = %d, want 8", tr.Dropped)
+	}
+	// Hops still tracked past the cap: depth bookkeeping is not buffered.
+	if tr.Hops != 10 {
+		t.Fatalf("hops = %d, want 10", tr.Hops)
+	}
+	// The QueryFailed event was truncated away, but the tree must still
+	// carry the recorder's authoritative outcome, not reconstruct a bogus
+	// "ok" from the surviving prefix.
+	tree := tr.Tree(sim.Millisecond)
+	if tree == nil || !tree.Failed {
+		t.Fatalf("truncated failed query reconstructed as ok: %+v", tree)
+	}
+	if tree.Latency != tr.Latency {
+		t.Fatalf("tree latency %s != recorder latency %s", tree.Latency, tr.Latency)
+	}
+}
+
+// TestFlightRecorderWhyCombines checks a trace matching several criteria
+// reports them all and is kept once.
+func TestFlightRecorderWhyCombines(t *testing.T) {
+	r := NewFlightRecorder(Policy{KeepFailed: true, MinHops: 2})
+	emitQuery(r, 1, 5, sim.Second, 3, 0, sim.Second+30*sim.Second, true)
+	traces := r.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(traces))
+	}
+	if traces[0].Why != "failed,hops" {
+		t.Fatalf("why = %q", traces[0].Why)
+	}
+}
+
+func TestFlightRecorderPhasesAndStragglers(t *testing.T) {
+	r := NewFlightRecorder(Policy{KeepFailed: true})
+	r.Emit(Event{At: sim.Second, Kind: PhaseEnter, Detail: "surge"})
+	// Events for a query never submitted (e.g. in flight before attach).
+	r.Emit(Event{At: sim.Second, Kind: QueryForward, Query: 9, Peer: 1, From: 0})
+	r.Emit(Event{At: 2 * sim.Second, Kind: QueryFinalize, Query: 9, Peer: 0, From: -1})
+	if ph := r.Phases(); len(ph) != 1 || ph[0].Detail != "surge" {
+		t.Fatalf("phases = %+v", ph)
+	}
+	if len(r.Traces()) != 0 || r.InFlight() != 0 {
+		t.Fatal("straggler events must be ignored")
+	}
+}
+
+// TestCollectorMergeOrder locks the shard-cell merge contract: cells drain
+// into the sink in ascending (time, query, shard) order, same-instant
+// out-of-order events within one cell are reordered by query id, and a
+// flush resets the cells.
+func TestCollectorMergeOrder(t *testing.T) {
+	sink := NewBuffer(64)
+	c := NewCollector(sink, 3)
+	// Shard 0: two events at t=2 emitted query-descending (same instant).
+	c.Cell(0).Emit(Event{At: 2 * sim.Millisecond, Query: 5})
+	c.Cell(0).Emit(Event{At: 2 * sim.Millisecond, Query: 3})
+	// Shard 1: earliest event overall.
+	c.Cell(1).Emit(Event{At: sim.Millisecond, Query: 9})
+	// Shard 2: ties shard 0's (t=2, q=3) — higher shard index loses.
+	c.Cell(2).Emit(Event{At: 2 * sim.Millisecond, Query: 3, Peer: 42})
+	c.Flush()
+	evs := sink.Events()
+	if len(evs) != 4 {
+		t.Fatalf("merged %d events, want 4", len(evs))
+	}
+	if evs[0].Query != 9 {
+		t.Fatalf("first merged event = %+v, want shard 1's t=1ms", evs[0])
+	}
+	if evs[1].Query != 3 || evs[1].Peer == 42 {
+		t.Fatalf("tie broke toward shard 2: %+v", evs[1])
+	}
+	if evs[2].Query != 3 || evs[2].Peer != 42 {
+		t.Fatalf("shard 2's tie event misplaced: %+v", evs[2])
+	}
+	if evs[3].Query != 5 {
+		t.Fatalf("last merged event = %+v", evs[3])
+	}
+	c.Flush() // empty flush is a no-op
+	if sink.Len() != 4 {
+		t.Fatalf("second flush re-emitted: len=%d", sink.Len())
+	}
+}
+
+// TestSpanTreeAttribution locks the span builder's latency split: a closed
+// forward span charges the processing constant and attributes the rest to
+// propagation; spans that never close render as open.
+func TestSpanTreeAttribution(t *testing.T) {
+	const proc = sim.Millisecond
+	t0 := sim.Second
+	events := []Event{
+		{At: t0, Kind: QuerySubmit, Query: 1, Peer: 0, From: -1, Detail: "q{a}"},
+		{At: t0, Kind: QueryForward, Query: 1, Peer: 1, From: 0},
+		// Peer 1 received + processed, forwards on at +10ms.
+		{At: t0 + 10*sim.Millisecond, Kind: QueryForward, Query: 1, Peer: 2, From: 1},
+		// Peer 2 hits at +25ms; peer 1→2 link therefore took 15ms.
+		{At: t0 + 25*sim.Millisecond, Kind: StorageHit, Query: 1, Peer: 2, From: -1},
+		{At: t0 + 30*sim.Millisecond, Kind: ResponseHop, Query: 1, Peer: 1, From: 2},
+		{At: t0 + 40*sim.Millisecond, Kind: ResponseHop, Query: 1, Peer: 0, From: 1},
+		{At: t0 + 55*sim.Millisecond, Kind: DownloadComplete, Query: 1, Peer: 0, From: 2},
+		{At: t0 + 30*sim.Second, Kind: QueryFinalize, Query: 1, Peer: 0, From: -1},
+	}
+	tree := BuildSpanTree(1, events, proc)
+	if tree == nil {
+		t.Fatal("no tree built")
+	}
+	if tree.Failed || tree.Latency != 55*sim.Millisecond {
+		t.Fatalf("tree latency=%v failed=%v", tree.Latency, tree.Failed)
+	}
+	if len(tree.Root.Children) != 1 {
+		t.Fatalf("root fan-out = %d, want 1", len(tree.Root.Children))
+	}
+	fwd01 := tree.Root.Children[0]
+	if fwd01.Kind != QueryForward || fwd01.Peer != 1 || fwd01.From != 0 {
+		t.Fatalf("first hop = %+v", fwd01)
+	}
+	if fwd01.Open || fwd01.Processing != proc || fwd01.Propagation != 9*sim.Millisecond {
+		t.Fatalf("hop 0→1 split prop=%v proc=%v open=%v", fwd01.Propagation, fwd01.Processing, fwd01.Open)
+	}
+	if len(fwd01.Children) != 1 {
+		t.Fatalf("hop 0→1 children = %d", len(fwd01.Children))
+	}
+	fwd12 := fwd01.Children[0]
+	if fwd12.Propagation != 14*sim.Millisecond || fwd12.Processing != proc {
+		t.Fatalf("hop 1→2 split prop=%v proc=%v", fwd12.Propagation, fwd12.Processing)
+	}
+	out := tree.Render()
+	for _, want := range []string{"fwd 0→1", "fwd 1→2", "storage-hit", "resp 2→1", "resp 1→0", "download"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "open") {
+		t.Fatalf("fully closed tree rendered an open span:\n%s", out)
+	}
+}
+
+func TestSpanTreeOpenSpans(t *testing.T) {
+	t0 := sim.Second
+	events := []Event{
+		{At: t0, Kind: QuerySubmit, Query: 1, Peer: 0, From: -1},
+		{At: t0, Kind: QueryForward, Query: 1, Peer: 1, From: 0},
+		{At: t0 + 30*sim.Second, Kind: QueryFailed, Query: 1, Peer: 0, From: -1},
+		{At: t0 + 30*sim.Second, Kind: QueryFinalize, Query: 1, Peer: 0, From: -1},
+	}
+	tree := BuildSpanTree(1, events, sim.Millisecond)
+	if tree == nil || !tree.Failed {
+		t.Fatalf("tree = %+v", tree)
+	}
+	fwd := tree.Root.Children[0]
+	if !fwd.Open {
+		t.Fatalf("never-received forward should be open: %+v", fwd)
+	}
+	if !strings.Contains(tree.Render(), "open") {
+		t.Fatalf("render missing open marker:\n%s", tree.Render())
+	}
+}
+
+func TestSpanTreeNoSubmit(t *testing.T) {
+	events := []Event{{At: sim.Second, Kind: QueryForward, Query: 1, Peer: 1, From: 0}}
+	if tree := BuildSpanTree(1, events, sim.Millisecond); tree != nil {
+		t.Fatalf("tree without submit = %+v", tree)
+	}
+}

@@ -1,0 +1,297 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/p2prepro/locaware/internal/sim"
+)
+
+// Span is one node of a query's causal tree: either a link span (a query
+// forward or a response hop, with a real duration from send to receipt) or
+// a point span (submit, hit, cached, duplicate, download, failed — an
+// instant at one peer).
+type Span struct {
+	// Kind is the trace kind the span was built from.
+	Kind Kind
+	// Peer is the peer the span lands on (the link target, or the acting
+	// peer for point spans); From is the link source (-1 for point spans).
+	Peer, From int
+	// Start and End bound the span. A link span starts when the message is
+	// sent and ends when the target processes it; point spans have
+	// Start == End.
+	Start, End sim.Time
+	// Open marks a link span that never closed: the message died in flight
+	// (TTL exhausted at the target, target offline, or the run ended).
+	Open bool
+	// Propagation, Processing and Queueing split a closed link span's
+	// latency: Processing is the per-hop protocol processing cost (clipped
+	// to the span), Propagation the remaining wire time. Queueing is
+	// reserved for a future bandwidth/queueing network model and is always
+	// 0 today.
+	Propagation, Processing, Queueing sim.Time
+	// Detail is the source event's annotation.
+	Detail string
+	// Children are causally dependent spans, in event order.
+	Children []*Span
+}
+
+// label renders the span's head: "fwd 3→7", "resp 7→3", or the point kind.
+func (s *Span) label() string {
+	switch s.Kind {
+	case QueryForward:
+		return fmt.Sprintf("fwd %d→%d", s.From, s.Peer)
+	case ResponseHop:
+		return fmt.Sprintf("resp %d→%d", s.From, s.Peer)
+	default:
+		return s.Kind.String()
+	}
+}
+
+// SpanTree is one query's reconstructed causal tree.
+type SpanTree struct {
+	// Query is the query id.
+	Query uint64
+	// Root is the query's lifetime span (submit to download/finalize),
+	// rooted at the origin peer.
+	Root *Span
+	// Spans counts every span in the tree, root included.
+	Spans int
+	// Failed reports the query finalised without an answer.
+	Failed bool
+	// Latency is the root span's duration.
+	Latency sim.Time
+}
+
+// spanBuilder accumulates the per-peer open-span bookkeeping while the
+// flat event stream replays.
+type spanBuilder struct {
+	processing sim.Time
+	root       *Span
+	nodeSpan   map[int]*Span   // query presence at a peer (inbound span)
+	openFwd    map[int][]*Span // FIFO open forward spans by target peer
+	openResp   map[int][]*Span // FIFO open response spans by target peer
+	respAt     map[int]*Span   // response origin span (the hit) by peer
+	lastFwd    map[int]sim.Time
+	count      int
+	doneAt     sim.Time
+	hasDone    bool
+	endAt      sim.Time
+	failed     bool
+}
+
+// BuildSpanTree reconstructs query q's span tree from its flat events
+// (merged-stream order, as stored by a FlightRecorder or returned by
+// Buffer.ForQuery). processing is the protocol's per-hop processing delay,
+// used to split each closed link span's latency into processing +
+// propagation. Non-query events (gossip, phases, engine) in the slice are
+// ignored. Returns nil when the events contain no QuerySubmit.
+func BuildSpanTree(q uint64, events []Event, processing sim.Time) *SpanTree {
+	b := &spanBuilder{
+		processing: processing,
+		nodeSpan:   make(map[int]*Span),
+		openFwd:    make(map[int][]*Span),
+		openResp:   make(map[int][]*Span),
+		respAt:     make(map[int]*Span),
+		lastFwd:    make(map[int]sim.Time),
+	}
+	for _, e := range events {
+		if e.Query != q {
+			continue
+		}
+		b.apply(e)
+	}
+	if b.root == nil {
+		return nil
+	}
+	end := b.endAt
+	if b.hasDone {
+		end = b.doneAt
+	}
+	if end < b.root.Start {
+		end = b.root.Start
+	}
+	b.root.End = end
+	// Clip spans the run never closed to the tree's end.
+	b.closeOpen(b.root, end)
+	return &SpanTree{
+		Query:   q,
+		Root:    b.root,
+		Spans:   b.count,
+		Failed:  b.failed,
+		Latency: b.root.End - b.root.Start,
+	}
+}
+
+func (b *spanBuilder) newSpan(e Event) *Span {
+	b.count++
+	return &Span{Kind: e.Kind, Peer: e.Peer, From: e.From, Start: e.At, End: e.At, Detail: e.Detail}
+}
+
+// attach adds child under parent, falling back to the root.
+func (b *spanBuilder) attach(parent, child *Span) {
+	if parent == nil {
+		parent = b.root
+	}
+	if parent == nil || parent == child {
+		return
+	}
+	parent.Children = append(parent.Children, child)
+}
+
+// closeHead pops the earliest open span targeting peer from queue, closing
+// it at 'at' with latency attribution.
+func closeHead(queues map[int][]*Span, peer int, at sim.Time, processing sim.Time) *Span {
+	q := queues[peer]
+	if len(q) == 0 {
+		return nil
+	}
+	s := q[0]
+	queues[peer] = q[1:]
+	s.End = at
+	total := s.End - s.Start
+	proc := processing
+	if proc > total {
+		proc = total
+	}
+	s.Processing = proc
+	s.Propagation = total - proc
+	return s
+}
+
+func (b *spanBuilder) apply(e Event) {
+	if e.At > b.endAt {
+		b.endAt = e.At
+	}
+	switch e.Kind {
+	case QuerySubmit:
+		if b.root != nil {
+			return
+		}
+		r := b.newSpan(e)
+		r.From = -1
+		b.root = r
+		b.nodeSpan[e.Peer] = r
+	case QueryForward:
+		// The sender forwarding is the first proof it received the query:
+		// close its inbound span once per instant (a multi-branch fan-out
+		// emits several forwards at the same time).
+		if b.root == nil {
+			return
+		}
+		if last, ok := b.lastFwd[e.From]; !ok || last != e.At {
+			if s := closeHead(b.openFwd, e.From, e.At, b.processing); s != nil {
+				if _, have := b.nodeSpan[e.From]; !have {
+					b.nodeSpan[e.From] = s
+				}
+			}
+			b.lastFwd[e.From] = e.At
+		}
+		s := b.newSpan(e)
+		b.attach(b.nodeSpan[e.From], s)
+		b.openFwd[e.Peer] = append(b.openFwd[e.Peer], s)
+	case QueryDuplicate:
+		in := closeHead(b.openFwd, e.Peer, e.At, b.processing)
+		b.attach(in, b.newSpan(e))
+	case StorageHit, CacheHit:
+		in := closeHead(b.openFwd, e.Peer, e.At, b.processing)
+		if in != nil {
+			if _, have := b.nodeSpan[e.Peer]; !have {
+				b.nodeSpan[e.Peer] = in
+			}
+		}
+		hit := b.newSpan(e)
+		if in == nil {
+			in = b.nodeSpan[e.Peer]
+		}
+		b.attach(in, hit)
+		b.respAt[e.Peer] = hit
+	case ResponseHop:
+		in := closeHead(b.openResp, e.From, e.At, b.processing)
+		parent := in
+		if parent == nil {
+			parent = b.respAt[e.From]
+		}
+		s := b.newSpan(e)
+		b.attach(parent, s)
+		b.openResp[e.Peer] = append(b.openResp[e.Peer], s)
+	case ResponseCached:
+		var parent *Span
+		if q := b.openResp[e.Peer]; len(q) > 0 {
+			parent = q[0]
+		}
+		b.attach(parent, b.newSpan(e))
+	case DownloadComplete:
+		in := closeHead(b.openResp, e.Peer, e.At, b.processing)
+		if in == nil {
+			in = b.respAt[e.Peer]
+		}
+		b.attach(in, b.newSpan(e))
+		b.doneAt, b.hasDone = e.At, true
+	case QueryFailed:
+		b.failed = true
+		b.attach(b.root, b.newSpan(e))
+	case QueryFinalize:
+		// End-of-life marker: bounds the tree but adds no span.
+	}
+}
+
+// closeOpen walks the tree marking never-closed link spans Open and
+// clipping their End to the tree's end.
+func (b *spanBuilder) closeOpen(s *Span, end sim.Time) {
+	if (s.Kind == QueryForward || s.Kind == ResponseHop) && s.End == s.Start && s.Processing == 0 {
+		// Still at its creation timestamp with no attribution: check it is
+		// genuinely unclosed (a closed zero-length span would have
+		// Processing == total == 0 too, but such hops cannot exist — every
+		// link has positive latency).
+		s.Open = true
+		if end > s.End {
+			s.End = end
+		}
+	}
+	for _, c := range s.Children {
+		b.closeOpen(c, end)
+	}
+}
+
+// Render formats the tree as an indented text timeline: one line per span
+// with offsets relative to submission, durations, and the
+// propagation/processing split for closed link spans.
+func (t *SpanTree) Render() string {
+	var sb strings.Builder
+	status := "ok"
+	if t.Failed {
+		status = "FAILED"
+	}
+	fmt.Fprintf(&sb, "q=%d peer=%d submit@%s latency=%s spans=%d %s\n",
+		t.Query, t.Root.Peer, t.Root.Start, t.Latency, t.Spans, status)
+	if t.Root.Detail != "" {
+		fmt.Fprintf(&sb, "  %s\n", t.Root.Detail)
+	}
+	for _, c := range t.Root.Children {
+		renderSpan(&sb, c, t.Root.Start, 1)
+	}
+	return sb.String()
+}
+
+func renderSpan(sb *strings.Builder, s *Span, t0 sim.Time, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+	switch {
+	case s.Open:
+		fmt.Fprintf(sb, "%s [+%s …] open", s.label(), s.Start-t0)
+	case s.Kind == QueryForward || s.Kind == ResponseHop:
+		fmt.Fprintf(sb, "%s [+%s %s] prop=%s proc=%s",
+			s.label(), s.Start-t0, s.End-s.Start, s.Propagation, s.Processing)
+	default:
+		fmt.Fprintf(sb, "%s @+%s peer=%d", s.label(), s.Start-t0, s.Peer)
+	}
+	if s.Detail != "" {
+		fmt.Fprintf(sb, " %s", s.Detail)
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.Children {
+		renderSpan(sb, c, t0, depth+1)
+	}
+}

@@ -43,6 +43,13 @@ const (
 	// tracing via EventObserver). Detail carries the event's kind name;
 	// Peer carries its destination when the event names one.
 	EngineEvent
+	// QueryFinalize: the query's bookkeeping was retired. Every query emits
+	// exactly one, after its download or failure outcome, so it is the
+	// end-of-life signal flight recorders key tail-sampling decisions on.
+	QueryFinalize
+
+	// KindCount bounds the kind space for bitmask-sized tables.
+	KindCount
 )
 
 // String names the kind.
@@ -72,6 +79,8 @@ func (k Kind) String() string {
 		return "phase"
 	case EngineEvent:
 		return "engine"
+	case QueryFinalize:
+		return "finalize"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -79,15 +88,20 @@ func (k Kind) String() string {
 
 // EventObserver adapts a Tracer into a sim.Engine observer: every
 // delivered typed event is rendered as an EngineEvent carrying the event's
-// kind name (sim.EventName) and, for destined events, its destination
-// peer. Install it with Engine.SetObserver (or Sharded.SetObserver) to see
-// the typed event core itself — query deliveries, response hops, gossip
-// rounds, churn ticks — beneath the protocol-level trace.
+// kind name (sim.EventName), for destined events its destination peer, and
+// for transfer-shaped events (sim.Sourced) the sending peer, so engine
+// traces show links rather than bare destinations. Install it with
+// Engine.SetObserver (or Sharded.SetObserver) to see the typed event core
+// itself — query deliveries, response hops, gossip rounds, churn ticks —
+// beneath the protocol-level trace.
 func EventObserver(tr Tracer) func(at sim.Time, ev sim.Event) {
 	return func(at sim.Time, ev sim.Event) {
 		e := Event{At: at, Kind: EngineEvent, Peer: -1, From: -1, Detail: sim.EventName(ev)}
 		if d, ok := ev.(sim.Destined); ok {
 			e.Peer = d.EventDst()
+		}
+		if s, ok := ev.(sim.Sourced); ok {
+			e.From = s.EventSrc()
 		}
 		tr.Emit(e)
 	}
@@ -123,12 +137,45 @@ type Tracer interface {
 	Emit(Event)
 }
 
+// KindFilter is an optional Tracer capability: a sink that discards some
+// event kinds outright implements it so emitters can skip building those
+// events — and their detail-string allocations — at the source. WantMask
+// folds a sink's answers into a bitmask for branch-free hot-path checks.
+type KindFilter interface {
+	WantKind(Kind) bool
+}
+
+// WantMask returns tr's kind-interest bitmask (bit k set = kind k wanted).
+// Sinks without the KindFilter capability want everything.
+func WantMask(tr Tracer) uint32 {
+	const all = 1<<KindCount - 1
+	if tr == nil {
+		return 0
+	}
+	kf, ok := tr.(KindFilter)
+	if !ok {
+		return all
+	}
+	var m uint32
+	for k := Kind(0); k < KindCount; k++ {
+		if kf.WantKind(k) {
+			m |= 1 << k
+		}
+	}
+	return m
+}
+
 // Buffer is a bounded in-memory tracer. When full it drops new events and
 // counts the drops, so tracing long runs cannot exhaust memory.
 type Buffer struct {
 	cap     int
 	events  []Event
 	dropped uint64
+	// byQuery indexes retained event positions by query id. Built lazily on
+	// the first ForQuery after a mutation and invalidated on Emit, so span
+	// reconstruction's repeated per-query lookups cost O(hits) instead of
+	// O(all events).
+	byQuery map[uint64][]int32
 }
 
 // NewBuffer returns a tracer retaining at most capacity events
@@ -146,6 +193,7 @@ func (b *Buffer) Emit(e Event) {
 		b.dropped++
 		return
 	}
+	b.byQuery = nil
 	b.events = append(b.events, e)
 }
 
@@ -162,13 +210,21 @@ func (b *Buffer) Dropped() uint64 { return b.dropped }
 // Len returns the retained event count.
 func (b *Buffer) Len() int { return len(b.events) }
 
-// ForQuery filters the retained events to one query id.
+// ForQuery filters the retained events to one query id, in emission order.
 func (b *Buffer) ForQuery(q uint64) []Event {
-	var out []Event
-	for _, e := range b.events {
-		if e.Query == q {
-			out = append(out, e)
+	if b.byQuery == nil && len(b.events) > 0 {
+		b.byQuery = make(map[uint64][]int32)
+		for i, e := range b.events {
+			b.byQuery[e.Query] = append(b.byQuery[e.Query], int32(i))
 		}
+	}
+	idx := b.byQuery[q]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Event, len(idx))
+	for i, j := range idx {
+		out[i] = b.events[j]
 	}
 	return out
 }

@@ -164,6 +164,14 @@ type Options struct {
 	// carries the per-run snapshot. Instrumentation is inert — results
 	// are byte-identical with or without it. See NewObserver.
 	Observer *Observer
+	// FlightRecorder, when non-nil, attaches tail-sampling causal query
+	// tracing: queries matching the retention policy (slowest-N, failed,
+	// deep) are kept as span trees on Result.Traces, renderable as text
+	// timelines (Trace.Render) or exportable to Perfetto
+	// (Result.WritePerfetto). Recording is inert — per-shard trace cells
+	// merge at the epoch barrier, so the parallel drain stays enabled and
+	// results are byte-identical with or without it. See FlightRecorder.
+	FlightRecorder *FlightRecorder
 	// Trials is the number of independent replications RunTrials and
 	// CompareTrials execute per protocol (<= 0 means 1). Trial t runs in
 	// its own simulated world rooted at a seed derived deterministically
@@ -268,6 +276,9 @@ func (o Options) coreConfig() core.Config {
 	if o.Observer != nil {
 		cfg.Obs = o.Observer.reg
 	}
+	if o.FlightRecorder != nil {
+		cfg.TracePolicy = o.FlightRecorder.policy()
+	}
 	return cfg
 }
 
@@ -322,6 +333,12 @@ type Result struct {
 	// Runtime is the run's observability snapshot — populated only when
 	// the run executed under an Observer (Options.Observer).
 	Runtime *RuntimeStats
+	// Traces holds the flight recorder's retained query traces, slowest
+	// first — populated only when the run executed under a recorder
+	// (Options.FlightRecorder). Export them with WritePerfetto.
+	Traces []*Trace
+
+	tracePhases []trace.Event
 }
 
 // QueryRecord is the outcome of one measured query (RetainRecords mode).
@@ -395,6 +412,8 @@ func newResult(p Protocol, r *core.RunResult) *Result {
 		Records:               records,
 		Phases:                phases,
 		Runtime:               liftRuntime(r.Runtime),
+		Traces:                liftTraces(r),
+		tracePhases:           r.TracePhases,
 	}
 }
 
@@ -505,7 +524,7 @@ func RunTraced(o Options, p Protocol, warmup, queries, maxEvents int) (*Result, 
 	}
 	s := core.NewSimulation(o.scenarioConfig(queries), b)
 	buf := trace.NewBuffer(maxEvents)
-	s.Network.Tracer = buf
+	s.Network.SetTracer(buf)
 	r := s.RunMeasured(warmup, queries)
 	if err := resultErr(r); err != nil {
 		return nil, nil, err

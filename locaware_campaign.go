@@ -42,6 +42,14 @@ type CampaignOptions struct {
 	// line per interval: done/leased/resumed/reissued counts, the EWMA
 	// completion rate and an ETA.
 	Progress time.Duration
+	// FlightRecorder, when non-nil, attaches tail-sampling tracing to every
+	// cell run; each completed cell then carries its worst-case query trace
+	// as an exemplar (SweepResult.CellExemplar), workers ship exemplars to
+	// the coordinator with their results, and the coordinator serves the
+	// collection on /traces (and /traces?cell=N for one rendered timeline).
+	// Like Observer, recording never changes campaign bytes or the content
+	// hash, so traced and untraced processes interoperate.
+	FlightRecorder *FlightRecorder
 }
 
 // CampaignStats reports how a campaign's cells were obtained.
@@ -74,6 +82,9 @@ func (c CampaignOptions) lower() campaign.Options {
 	}
 	if c.Observer != nil {
 		opt.Obs = c.Observer.reg
+	}
+	if c.FlightRecorder != nil {
+		opt.TracePolicy = c.FlightRecorder.policy()
 	}
 	return opt
 }

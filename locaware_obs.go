@@ -76,6 +76,11 @@ type RuntimeStats struct {
 	BloomInstallCopies   uint64
 	PendingHighWater     uint64
 	FinalizeWatermarkLag uint64
+	// TraceEventsDropped counts trace events discarded by a full tracer
+	// buffer (RunTraced's bounded buffer). Non-zero means the trace is
+	// incomplete — raise maxEvents, or switch to a FlightRecorder, whose
+	// tail sampling never overflows. Always 0 when untraced.
+	TraceEventsDropped uint64
 	// PoolFree is per-pool free-list occupancy at end of run.
 	PoolFree map[string]int
 }
@@ -101,6 +106,7 @@ func liftRuntime(rs *core.RuntimeStats) *RuntimeStats {
 		BloomInstallCopies:   rs.BloomInstallCopies,
 		PendingHighWater:     rs.PendingHighWater,
 		FinalizeWatermarkLag: rs.FinalizeWatermarkLag,
+		TraceEventsDropped:   rs.TraceEventsDropped,
 		PoolFree:             rs.PoolFree,
 	}
 }
@@ -144,6 +150,9 @@ func (rs *RuntimeStats) Report() string {
 	fmt.Fprintf(&b, "    %-28s %d\n", "bloom install copies", rs.BloomInstallCopies)
 	fmt.Fprintf(&b, "    %-28s %d\n", "pending queries high water", rs.PendingHighWater)
 	fmt.Fprintf(&b, "    %-28s %d\n", "finalize watermark lag", rs.FinalizeWatermarkLag)
+	if rs.TraceEventsDropped > 0 {
+		fmt.Fprintf(&b, "  warning: trace buffer overflowed; %d events dropped (trace is incomplete)\n", rs.TraceEventsDropped)
+	}
 	if len(rs.PoolFree) > 0 {
 		fmt.Fprintf(&b, "  pool free lists:\n")
 		pools := make([]string, 0, len(rs.PoolFree))
