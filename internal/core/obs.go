@@ -30,6 +30,9 @@ type RuntimeStats struct {
 	EventsByKind map[string]uint64
 	// EventsScheduled counts all schedule calls, including cancelled ones.
 	EventsScheduled uint64
+	// EventsCancelled counts cancelled events discarded by the scheduler,
+	// whether skipped at pop time or reaped during a calendar rebuild.
+	EventsCancelled uint64
 	// QueueDepthHighWater is the deepest any shard's event queue got.
 	QueueDepthHighWater uint64
 	// FreeListEvents is the pooled-event capacity left at end of run.
@@ -86,18 +89,21 @@ func (s *Simulation) finishObs(res *RunResult) {
 	}
 	s.Network.DrainObs()
 
-	var scheduled uint64
+	var scheduled, cancelled uint64
 	freelist := 0
 	if sh, ok := s.loop.(*sim.Sharded); ok {
 		for i := 0; i < sh.Shards(); i++ {
 			scheduled += sh.Engine(i).Scheduled()
+			cancelled += sh.Engine(i).Cancelled()
 			freelist += sh.Engine(i).FreeListLen()
 		}
 	} else {
 		scheduled = s.Engine.Scheduled()
+		cancelled = s.Engine.Cancelled()
 		freelist = s.Engine.FreeListLen()
 	}
 	reg.Counter(sim.MetricScheduled, "").Add(scheduled)
+	reg.Counter(sim.MetricCancelled, "").Add(cancelled)
 	reg.Gauge(sim.MetricFreeList, "").SetMax(int64(freelist))
 
 	fwd := s.Network.Forwarding()
@@ -120,6 +126,7 @@ func (s *Simulation) finishObs(res *RunResult) {
 	rs := &RuntimeStats{
 		Shards:               s.Cfg.Shards,
 		EventsScheduled:      scheduled,
+		EventsCancelled:      cancelled,
 		FreeListEvents:       freelist,
 		Submitted:            ps.Submitted,
 		Finalized:            ps.Finalized,

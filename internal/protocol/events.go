@@ -50,7 +50,9 @@ func (st *shardState) acquireQueryDeliver(net *Network, src, dst overlay.PeerID,
 		ev.src, ev.dst, ev.msg = src, dst, msg
 		return ev
 	}
-	return &queryDeliverEvent{net: net, src: src, dst: dst, msg: msg}
+	ev := st.qdSlab.New()
+	ev.net, ev.src, ev.dst, ev.msg = net, src, dst, msg
+	return ev
 }
 
 // responseDeliverEvent advances a response one hop to dst on the reverse
@@ -83,7 +85,9 @@ func (st *shardState) acquireResponseDeliver(net *Network, src, dst overlay.Peer
 		ev.src, ev.dst, ev.rsp = src, dst, rsp
 		return ev
 	}
-	return &responseDeliverEvent{net: net, src: src, dst: dst, rsp: rsp}
+	ev := st.rdSlab.New()
+	ev.net, ev.src, ev.dst, ev.rsp = net, src, dst, rsp
+	return ev
 }
 
 // finalizeEvent seals query id's record FinalizeAfter after submission. It
@@ -113,7 +117,9 @@ func (st *shardState) acquireFinalize(net *Network, id QueryID, dst overlay.Peer
 		ev.id, ev.dst = id, dst
 		return ev
 	}
-	return &finalizeEvent{net: net, id: id, dst: dst}
+	ev := st.finSlab.New()
+	ev.net, ev.id, ev.dst = net, id, dst
+	return ev
 }
 
 // querySubmitEvent carries a sharded submission from the control shard to
@@ -146,7 +152,9 @@ func (st *shardState) acquireSubmit(net *Network, id QueryID, dst overlay.PeerID
 		ev.dst, ev.id, ev.q = dst, id, q
 		return ev
 	}
-	return &querySubmitEvent{net: net, dst: dst, id: id, q: q}
+	ev := st.qsSlab.New()
+	ev.net, ev.dst, ev.id, ev.q = net, dst, id, q
+	return ev
 }
 
 // bloomInstallEvent delivers one Bloom gossip announcement: dst installs
@@ -207,7 +215,9 @@ func (st *shardState) acquireBloomInstall(net *Network, dst, from overlay.PeerID
 		ev.dst, ev.from, ev.snap, ev.gen, ev.owned = dst, from, snap, gen, false
 		return ev
 	}
-	return &bloomInstallEvent{net: net, dst: dst, from: from, snap: snap, gen: gen}
+	ev := st.biSlab.New()
+	ev.net, ev.dst, ev.from, ev.snap, ev.gen = net, dst, from, snap, gen
+	return ev
 }
 
 // acquireBloomInstallOwned builds a cross-shard install carrying a pooled

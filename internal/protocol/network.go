@@ -174,6 +174,19 @@ type shardState struct {
 	qsFree   []*querySubmitEvent
 	snapFree []*bloom.Filter
 
+	// Slab allocators back every pool's cold path: growth carves values
+	// from 64-value blocks (one allocation, contiguous storage, one
+	// GC-scanned object) instead of a heap object per value. Recycling is
+	// unchanged — slabs only replace the `new(T)` fallbacks above.
+	pqSlab   sim.Slab[pendingQuery]
+	msgSlab  sim.Slab[QueryMsg]
+	respSlab sim.Slab[ResponseMsg]
+	qdSlab   sim.Slab[queryDeliverEvent]
+	rdSlab   sim.Slab[responseDeliverEvent]
+	finSlab  sim.Slab[finalizeEvent]
+	biSlab   sim.Slab[bloomInstallEvent]
+	qsSlab   sim.Slab[querySubmitEvent]
+
 	// Reusable scratch buffers for the per-event selection loops. Each is
 	// filled and fully consumed within one event delivery on this shard's
 	// engine, so one instance per shard suffices.
@@ -603,7 +616,9 @@ func (net *Network) acquirePending(st *shardState, origin overlay.PeerID) *pendi
 		*pq = pendingQuery{origin: origin, col: col, visited: pq.visited[:0]}
 		return pq
 	}
-	return &pendingQuery{origin: origin, col: col}
+	pq := st.pqSlab.New()
+	pq.origin, pq.col = origin, col
+	return pq
 }
 
 // acquireMsg takes a QueryMsg from the shard's pool. The caller owns it
@@ -615,7 +630,7 @@ func (st *shardState) acquireMsg() *QueryMsg {
 		st.msgFree = st.msgFree[:n-1]
 		return m
 	}
-	return &QueryMsg{}
+	return st.msgSlab.New()
 }
 
 // releaseMsg returns a fully processed query message to the shard's pool.
@@ -941,7 +956,7 @@ func (st *shardState) acquireResponse() *ResponseMsg {
 		st.respFree = st.respFree[:n-1]
 		return r
 	}
-	return &ResponseMsg{}
+	return st.respSlab.New()
 }
 
 // releaseResponse returns a finished response to the shard's pool.

@@ -9,21 +9,26 @@ import (
 // event delivery happen on the goroutine that calls Run; protocol code never
 // needs locks. This mirrors PeerSim's event-driven engine, which the paper's
 // evaluation is built on.
+//
+// Pending events live in a flat slab arena (see arena.go) and are ordered
+// by a calendar queue over compact (at, seq, ref) entries (see queue.go):
+// the drain loop walks contiguous memory, and scheduling is O(1) amortised
+// instead of O(log n) heap ops.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   calendarQueue
+	arena   eventArena
 	seq     uint64
 	stopped bool
 	// processed counts delivered (non-cancelled) events.
 	processed uint64
 	// scheduled counts all Schedule calls, including later-cancelled ones.
 	scheduled uint64
+	// cancelled counts dead events discarded at pop time or reaped during a
+	// calendar rebuild.
+	cancelled uint64
 	// horizon, when non-zero, rejects events scheduled beyond it.
 	horizon Time
-	// free recycles delivered/discarded events so a steady-state run
-	// schedules without allocating; recycled events bump their generation,
-	// invalidating stale Timer handles.
-	free []*event
 	// route, when non-nil, may claim a typed fire-and-forget event instead
 	// of queueing it locally. The sharded runner installs it to divert
 	// events destined to another shard into that shard's mailbox.
@@ -49,25 +54,21 @@ type Engine struct {
 // shard indexes on this value from within event handlers.
 func (e *Engine) Shard() int { return e.shard }
 
-// alloc takes an event from the free list or the heap.
-func (e *Engine) alloc(at Time, h Handler, t Event) *event {
-	if n := len(e.free); n > 0 {
-		ev := e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.handler, ev.typed, ev.dead = at, e.seq, h, t, false
-		return ev
-	}
-	return &event{at: at, seq: e.seq, handler: h, typed: t}
+// alloc takes an event slot from the arena and fills its payload.
+func (e *Engine) alloc(at Time, h Handler, t Event) (eventRef, *event) {
+	r, ev := e.arena.alloc()
+	ev.at, ev.seq, ev.handler, ev.typed = at, e.seq, h, t
+	return r, ev
 }
 
-// recycle returns a popped event to the free list, invalidating handles.
-func (e *Engine) recycle(ev *event) {
+// recycle returns a popped slot to the arena free list. The dead mark (set
+// by the drain loop before firing, or by Cancel) plus the next alloc's
+// fresh generation stamp invalidate outstanding handles.
+func (e *Engine) recycle(r eventRef, ev *event) {
 	ev.handler = nil
 	ev.typed = nil
 	ev.dead = true
-	ev.gen++
-	e.free = append(e.free, ev)
+	e.arena.release(r)
 }
 
 // ErrPast is returned when an event is scheduled before the current virtual
@@ -76,7 +77,20 @@ var ErrPast = errors.New("sim: event scheduled in the past")
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.queue.arena = &e.arena
+	// Calendar rebuilds hand entries back so cancelled events are reaped
+	// (recycled and counted) instead of re-bucketed.
+	e.queue.drop = func(qe qent) bool {
+		ev := e.arena.get(qe.ref)
+		if !ev.dead {
+			return false
+		}
+		e.cancelled++
+		e.recycle(qe.ref, ev)
+		return true
+	}
+	return e
 }
 
 // Now returns the current virtual time.
@@ -91,6 +105,10 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Scheduled returns the number of events scheduled so far.
 func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
+// Cancelled returns the number of cancelled events discarded so far, at pop
+// time or by calendar-rebuild reaping.
+func (e *Engine) Cancelled() uint64 { return e.cancelled }
 
 // SetHorizon rejects (silently drops) any event scheduled after t. A zero
 // horizon disables the limit. It is used to keep long-tailed retransmission
@@ -138,11 +156,11 @@ func (e *Engine) scheduleAt(at Time, h Handler, t Event) (*Timer, error) {
 		// callers near the end of a run need no special casing.
 		return deadTimer, nil
 	}
-	ev := e.alloc(at, h, t)
+	r, ev := e.alloc(at, h, t)
+	e.queue.push(qent{at: at, seq: e.seq, ref: r})
 	e.seq++
 	e.scheduled++
-	e.queue.push(ev)
-	return &Timer{ev: ev, gen: ev.gen}, nil
+	return &Timer{e: e, ref: r, gen: ev.gen}, nil
 }
 
 // PostAt is ScheduleAt without a cancellation handle: the hot-path variant
@@ -155,10 +173,10 @@ func (e *Engine) PostAt(at Time, h Handler) error {
 	if e.horizon > 0 && at > e.horizon {
 		return nil // dropped by horizon policy, as ScheduleAt
 	}
-	ev := e.alloc(at, h, nil)
+	r, _ := e.alloc(at, h, nil)
+	e.queue.push(qent{at: at, seq: e.seq, ref: r})
 	e.seq++
 	e.scheduled++
-	e.queue.push(ev)
 	return nil
 }
 
@@ -177,10 +195,10 @@ func (e *Engine) PostEventAt(at Time, ev Event) error {
 	if e.route != nil && e.route(at, ev) {
 		return nil // claimed by the shard router
 	}
-	w := e.alloc(at, nil, ev)
+	r, _ := e.alloc(at, nil, ev)
+	e.queue.push(qent{at: at, seq: e.seq, ref: r})
 	e.seq++
 	e.scheduled++
-	e.queue.push(w)
 	return nil
 }
 
@@ -242,25 +260,27 @@ func (e *Engine) RunUntil(deadline Time, maxEvents uint64) uint64 {
 		if maxEvents > 0 && delivered >= maxEvents {
 			break
 		}
-		next := e.queue.peek()
-		if next == nil {
+		qe, ok := e.queue.peek()
+		if !ok {
 			break
 		}
-		if next.at > deadline {
+		if qe.at > deadline {
 			if deadline > e.now && deadline != Time(math.MaxInt64) {
 				e.now = deadline
 			}
 			break
 		}
 		e.queue.pop()
-		if next.dead {
-			e.recycle(next)
+		ev := e.arena.get(qe.ref)
+		if ev.dead {
+			e.cancelled++
+			e.recycle(qe.ref, ev)
 			continue
 		}
-		e.now = next.at
-		next.dead = true
-		h, t := next.handler, next.typed
-		e.recycle(next)
+		e.now = qe.at
+		ev.dead = true
+		h, t := ev.handler, ev.typed
+		e.recycle(qe.ref, ev)
 		if e.instr != nil {
 			e.instr.record(e, t)
 		}
@@ -297,25 +317,37 @@ func (e *Engine) advanceTo(t Time) {
 // discarded on the way.
 func (e *Engine) peekTime() (Time, bool) {
 	for {
-		next := e.queue.peek()
-		if next == nil {
+		qe, ok := e.queue.peek()
+		if !ok {
 			return 0, false
 		}
-		if !next.dead {
-			return next.at, true
+		ev := e.arena.get(qe.ref)
+		if !ev.dead {
+			return qe.at, true
 		}
 		e.queue.pop()
-		e.recycle(next)
+		e.cancelled++
+		e.recycle(qe.ref, ev)
 	}
 }
 
 // Drain discards all pending events without running them.
 func (e *Engine) Drain() {
 	for {
-		ev := e.queue.pop()
-		if ev == nil {
+		qe, ok := e.queue.pop()
+		if !ok {
 			return
 		}
-		e.recycle(ev)
+		e.recycle(qe.ref, e.arena.get(qe.ref))
+	}
+}
+
+// capFreeList reaps pooled event storage down to the live population plus
+// one slab, so a burst's worth of recycled slots does not pin memory for
+// the rest of the run. Only whole tail slabs are returned; the sharded
+// runner calls this at the sequential epoch barrier.
+func (e *Engine) capFreeList() {
+	if limit := e.arena.live() + arenaSlabSize; e.arena.freeLen() > limit {
+		e.arena.reap(limit)
 	}
 }

@@ -138,6 +138,111 @@ func BenchmarkShardedEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkQueuePushPop compares the calendar queue against the binary
+// heap it replaced (kept as the test-only oracle) on a steady-state mixed
+// workload: a fixed-depth queue with near-clustered timestamps, periodic
+// far-future spills, and interleaved push/pop — the shape a protocol run
+// produces. The calendar side pays its arena alloc/release per op, exactly
+// as the engine does.
+func BenchmarkQueuePushPop(b *testing.B) {
+	const depth = 4096
+	workload := func(b *testing.B, push func(at Time, seq uint64), pop func() (Time, bool)) {
+		var seq uint64
+		var now Time
+		x := uint64(0x9e3779b97f4a7c15)
+		next := func(mod int64) int64 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return int64(x % uint64(mod))
+		}
+		at := func() Time {
+			if next(50) == 0 {
+				return now + 30*Second + Time(next(int64(Second)))
+			}
+			return now + Time(next(2000))
+		}
+		for i := 0; i < depth; i++ {
+			push(at(), seq)
+			seq++
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			push(at(), seq)
+			seq++
+			if t, ok := pop(); ok {
+				now = t
+			}
+		}
+		b.StopTimer()
+		for {
+			if _, ok := pop(); !ok {
+				break
+			}
+		}
+	}
+	b.Run("calendar", func(b *testing.B) {
+		var arena eventArena
+		var q calendarQueue
+		q.arena = &arena
+		workload(b,
+			func(at Time, seq uint64) {
+				ref, ev := arena.alloc()
+				ev.at, ev.seq = at, seq
+				q.push(qent{at: at, seq: seq, ref: ref})
+			},
+			func() (Time, bool) {
+				e, ok := q.pop()
+				if ok {
+					arena.release(e.ref)
+				}
+				return e.at, ok
+			})
+	})
+	b.Run("heap", func(b *testing.B) {
+		var q heapQueue
+		workload(b,
+			func(at Time, seq uint64) { q.push(qent{at: at, seq: seq}) },
+			func() (Time, bool) {
+				e, ok := q.pop()
+				return e.at, ok
+			})
+	})
+}
+
+// BenchmarkShardedDrainMode compares the persistent parked workers against
+// the legacy per-epoch goroutine spawn on the BenchmarkShardedEvents
+// workload: the delta is pure epoch-barrier scheduling overhead.
+func BenchmarkShardedDrainMode(b *testing.B) {
+	for _, mode := range []string{"persistent", "spawn"} {
+		for _, shards := range []int{2, 4} {
+			b.Run(fmt.Sprintf("%s/shards=%d", mode, shards), func(b *testing.B) {
+				const peers = 64
+				s := NewSharded(ShardedOptions{
+					Shards:    shards,
+					ShardOf:   func(p int) int { return p * shards / peers },
+					Parallel:  true,
+					Lookahead: Millisecond / 2,
+				})
+				s.SetSpawnDrain(mode == "spawn")
+				chains := shards * 16
+				per := make([]int64, chains)
+				for c := 0; c < chains; c++ {
+					per[c] = int64(b.N / chains)
+					if per[c] == 0 {
+						per[c] = 1
+					}
+					s.Engine(0).PostEvent(Millisecond, &benchShardEvent{
+						dst: c * peers / chains, peers: peers, shards: shards, remaining: &per[c],
+					})
+				}
+				b.ResetTimer()
+				s.Run(0)
+			})
+		}
+	}
+}
+
 // BenchmarkRNGStream measures substream derivation cost.
 func BenchmarkRNGStream(b *testing.B) {
 	r := NewRNG(1)

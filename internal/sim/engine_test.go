@@ -294,26 +294,31 @@ func TestHeapPropertyQuick(t *testing.T) {
 
 func TestQueueRandomizedPushPop(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
-	var q eventQueue
+	var q calendarQueue
+	q.arena = &eventArena{}
 	const n = 2000
 	for i := 0; i < n; i++ {
-		q.push(&event{at: Time(r.Intn(1000)), seq: uint64(i)})
+		at := Time(r.Intn(1000))
+		ref, ev := q.arena.alloc()
+		ev.at, ev.seq = at, uint64(i)
+		q.push(qent{at: at, seq: uint64(i), ref: ref})
 	}
-	var prev *event
+	var prev qent
 	for i := 0; i < n; i++ {
-		ev := q.pop()
-		if ev == nil {
+		ev, ok := q.pop()
+		if !ok {
 			t.Fatalf("queue exhausted early at %d", i)
 		}
-		if prev != nil {
-			if ev.at < prev.at || (ev.at == prev.at && ev.seq < prev.seq) {
-				t.Fatalf("ordering violated: (%d,%d) after (%d,%d)", ev.at, ev.seq, prev.at, prev.seq)
-			}
+		if i > 0 && qentLess(ev, prev) {
+			t.Fatalf("ordering violated: (%d,%d) after (%d,%d)", ev.at, ev.seq, prev.at, prev.seq)
 		}
 		prev = ev
 	}
-	if q.pop() != nil {
+	if _, ok := q.pop(); ok {
 		t.Fatal("queue should be empty")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining", q.Len())
 	}
 }
 

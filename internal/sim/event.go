@@ -119,43 +119,56 @@ func EventName(ev Event) string {
 	return fmt.Sprintf("%T", ev)
 }
 
-// event is an entry in the engine's priority queue. seq breaks timestamp
-// ties in scheduling order so same-instant events are FIFO. Exactly one of
-// handler and typed is set. Events are recycled through the engine's free
-// list once delivered or discarded; gen distinguishes incarnations so stale
-// Timer handles cannot cancel an unrelated later event.
+// event is one scheduled entry's payload, stored flat in the engine's event
+// arena and addressed by eventRef handles. seq breaks timestamp ties in
+// scheduling order so same-instant events are FIFO. Exactly one of handler
+// and typed is set. Slots recycle through the arena's free list once
+// delivered or discarded; gen is a unique per-allocation stamp, so a stale
+// Timer handle can never match a later incarnation of the slot.
 type event struct {
 	at      Time
 	seq     uint64
 	handler Handler
 	typed   Event
-	index   int // heap bookkeeping
-	dead    bool
-	gen     uint64
+	// next chains this slot into its calendar lane (see queue.go); lanes
+	// are intrusive lists through the arena, so queueing an event never
+	// allocates lane storage.
+	next eventRef
+	dead bool
+	gen  uint64
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. It names
+// the event as an arena reference plus the generation it was issued for,
+// so it stays safe to interrogate after the event fires, recycles, or even
+// after the storage behind it is reaped.
 type Timer struct {
-	ev  *event
+	e   *Engine
+	ref eventRef
 	gen uint64
 }
 
 // deadTimer is the shared handle returned for events dropped by the
-// horizon; it is permanently non-pending.
+// horizon; its nil engine makes it permanently non-pending.
 var deadTimer = &Timer{}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled timer is a no-op. Cancel reports whether the event was
-// still pending.
+// still pending. The cancelled event rides the queue until popped or
+// reaped by a calendar rebuild, counted either way by Engine.Cancelled.
 func (t *Timer) Cancel() bool {
 	if !t.Pending() {
 		return false
 	}
-	t.ev.dead = true
+	t.e.arena.get(t.ref).dead = true
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
 func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.dead
+	if t == nil || t.e == nil || !t.e.arena.valid(t.ref) {
+		return false
+	}
+	ev := t.e.arena.get(t.ref)
+	return ev.gen == t.gen && !ev.dead
 }

@@ -12,6 +12,7 @@ const (
 	MetricEvents         = "sim_events_total"
 	MetricQueueHighWater = "sim_queue_depth_high_water"
 	MetricScheduled      = "sim_events_scheduled_total"
+	MetricCancelled      = "sim_events_cancelled_total"
 	MetricFreeList       = "sim_event_freelist_len"
 	MetricEpochs         = "sim_epochs_total"
 	MetricCrossShard     = "sim_cross_shard_events_total"
@@ -28,6 +29,7 @@ func RegisterMetrics(reg *obs.Registry) {
 	reg.CounterVec(MetricEvents, "Events delivered by kind.", "kind")
 	reg.Gauge(MetricQueueHighWater, "Highest event-queue depth seen on any shard.")
 	reg.Counter(MetricScheduled, "Events scheduled, including later-cancelled ones.")
+	reg.Counter(MetricCancelled, "Cancelled events discarded at pop time or reaped during calendar rebuilds.")
 	reg.Gauge(MetricFreeList, "Largest per-shard event freelist (pooled event capacity).")
 	reg.Counter(MetricEpochs, "Sharded epochs completed.")
 	reg.Counter(MetricCrossShard, "Events routed between shards through the epoch mailbox.")
@@ -88,8 +90,9 @@ func (e *Engine) EnableObs(reg *obs.Registry) *EngineInstr {
 	return in
 }
 
-// FreeListLen returns the number of pooled events on the free list.
-func (e *Engine) FreeListLen() int { return len(e.free) }
+// FreeListLen returns the number of pooled event slots on the arena free
+// list (capped at the epoch barrier by capFreeList).
+func (e *Engine) FreeListLen() int { return e.arena.freeLen() }
 
 // ShardedInstr instruments the epoch loop: epoch count, cross-shard
 // mailbox traffic, wall-clock drain time per epoch and per-shard barrier
@@ -105,8 +108,8 @@ type ShardedInstr struct {
 	epochCount uint64
 	crossCount uint64
 	maxDrain   float64
-	// waits[i] is written by shard i's drain goroutine and read after the
-	// epoch's WaitGroup join — never concurrently.
+	// waits[i] is written by shard i's worker goroutine and read after the
+	// epoch's barrier join — never concurrently.
 	waits []time.Duration
 }
 

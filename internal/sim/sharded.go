@@ -82,6 +82,17 @@ type Sharded struct {
 	// protocol layer uses it to merge per-shard bookkeeping — cross-shard
 	// message counts, finalized-query records — deterministically.
 	epochHook func()
+	// Persistent drain workers: one parked goroutine per shard, woken each
+	// parallel epoch through workerStart[i] (buffered, one barrier per
+	// epoch) and joined on workerDone. Started lazily by RunUntil on its
+	// first parallel epoch and stopped before it returns, so no goroutine
+	// outlives a run. Replaces the per-epoch spawn + WaitGroup cycle, whose
+	// setup cost dominated fine-grained epochs; spawnDrain restores the old
+	// cycle for benchmark comparison.
+	workerStart []chan Time
+	workerDone  chan struct{}
+	workerEpoch time.Time
+	spawnDrain  bool
 	// instr, when non-nil, records epoch counts, mailbox traffic and
 	// wall-clock drain/barrier timings (see EnableObs). It never affects
 	// event order.
@@ -214,6 +225,11 @@ func (s *Sharded) SetParallel(parallel bool) { s.opts.Parallel = parallel }
 // bookkeeping here.
 func (s *Sharded) SetEpochHook(fn func()) { s.epochHook = fn }
 
+// SetSpawnDrain switches the parallel drain back to the legacy per-epoch
+// goroutine spawn + WaitGroup cycle. Benchmark-only: it exists so the
+// spawn-vs-persistent-worker comparison stays measurable. Call before Run.
+func (s *Sharded) SetSpawnDrain(v bool) { s.spawnDrain = v }
+
 // Err returns the barrier-violation error that aborted the run, if any. A
 // non-nil value means the configured Lookahead exceeded the workload's
 // minimum cross-shard delay; results past that epoch are partial.
@@ -299,6 +315,10 @@ func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 		return n
 	}
 	s.stopped = false
+	if s.opts.Parallel && maxEvents == 0 && !s.spawnDrain {
+		s.startWorkers()
+		defer s.stopWorkers()
+	}
 	var delivered uint64
 	for !s.stopped {
 		if maxEvents > 0 && delivered >= maxEvents {
@@ -364,9 +384,14 @@ func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 			drainDur = time.Since(drainStart)
 		}
 		if s.epochHook != nil {
-			// The epoch boundary: shard goroutines (if any) have joined,
-			// so cross-shard merges are race-free here.
+			// The epoch boundary: shard workers (if any) have joined, so
+			// cross-shard merges are race-free here.
 			s.epochHook()
+		}
+		// Return burst-sized pooled-event storage at the same sequential
+		// point; arena geometry never feeds back into event order.
+		for _, e := range s.engines {
+			e.capFreeList()
 		}
 		if s.instr != nil {
 			s.instr.endEpoch(drainDur)
@@ -375,14 +400,85 @@ func (s *Sharded) RunUntil(deadline Time, maxEvents uint64) uint64 {
 	return delivered
 }
 
-// drainParallel runs one epoch's shard drains on separate goroutines. The
-// result is identical to the sequential drain because shards share nothing
-// inside an epoch: cross-shard events sit in per-shard outboxes until the
+// startWorkers parks one drain goroutine per shard. Each waits on its own
+// start channel for an epoch barrier, drains its engine to it, and signals
+// done; channel operations carry the happens-before edges, so the epoch
+// loop reads counts and waits only after every done signal arrives.
+func (s *Sharded) startWorkers() {
+	if s.workerStart != nil {
+		return
+	}
+	if s.counts == nil {
+		s.counts = make([]uint64, len(s.engines))
+	}
+	s.workerStart = make([]chan Time, len(s.engines))
+	s.workerDone = make(chan struct{}, len(s.engines))
+	for i, e := range s.engines {
+		ch := make(chan Time, 1)
+		s.workerStart[i] = ch
+		go func(i int, e *Engine, ch chan Time) {
+			for barrier := range ch {
+				s.counts[i] = e.RunUntil(barrier, 0)
+				if in := s.instr; in != nil {
+					// One writer per slot; read only after the join.
+					in.waits[i] = time.Since(s.workerEpoch)
+				}
+				s.workerDone <- struct{}{}
+			}
+		}(i, e, ch)
+	}
+}
+
+// stopWorkers releases the parked workers; RunUntil defers it so no
+// goroutine outlives the run that started it.
+func (s *Sharded) stopWorkers() {
+	if s.workerStart == nil {
+		return
+	}
+	for _, ch := range s.workerStart {
+		close(ch)
+	}
+	s.workerStart = nil
+	s.workerDone = nil
+}
+
+// drainParallel runs one epoch's shard drains concurrently. The result is
+// identical to the sequential drain because shards share nothing inside an
+// epoch: cross-shard events sit in per-shard outboxes until the
 // deterministic flush, and each engine's delivery order is fixed by its
-// own queue. The per-epoch goroutine spawn is acceptable for the current
-// coarse workloads; a parked worker pool is the follow-up once fine-
-// grained epochs need it.
+// own queue.
 func (s *Sharded) drainParallel(barrier Time) uint64 {
+	if s.workerStart == nil {
+		return s.drainSpawn(barrier)
+	}
+	if s.instr != nil {
+		s.workerEpoch = time.Now()
+	}
+	for _, ch := range s.workerStart {
+		ch <- barrier
+	}
+	for range s.workerStart {
+		<-s.workerDone
+	}
+	if s.instr != nil {
+		s.instr.recordWaits()
+	}
+	var n uint64
+	for _, c := range s.counts {
+		n += c
+	}
+	for _, e := range s.engines {
+		if e.stopped {
+			s.stopped = true
+		}
+	}
+	return n
+}
+
+// drainSpawn is the legacy per-epoch goroutine-spawn drain, kept only so
+// benchmarks can measure what the persistent workers buy (set spawnDrain
+// before Run).
+func (s *Sharded) drainSpawn(barrier Time) uint64 {
 	if s.counts == nil {
 		s.counts = make([]uint64, len(s.engines))
 	}
@@ -398,7 +494,6 @@ func (s *Sharded) drainParallel(barrier Time) uint64 {
 			defer wg.Done()
 			s.counts[i] = e.RunUntil(barrier, 0)
 			if in != nil {
-				// One writer per slot; read only after the join below.
 				in.waits[i] = time.Since(start)
 			}
 		}(i, e)

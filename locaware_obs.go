@@ -58,6 +58,9 @@ type RuntimeStats struct {
 	// EventsScheduled counts all schedule calls, including events later
 	// dropped by the horizon.
 	EventsScheduled uint64
+	// EventsCancelled counts cancelled events the scheduler discarded,
+	// whether skipped at pop time or reaped during a calendar rebuild.
+	EventsCancelled uint64
 	// QueueDepthHighWater is the deepest any event queue got.
 	QueueDepthHighWater uint64
 	// FreeListEvents is the pooled-event capacity left at end of run.
@@ -93,6 +96,7 @@ func liftRuntime(rs *core.RuntimeStats) *RuntimeStats {
 		Shards:               rs.Shards,
 		EventsByKind:         rs.EventsByKind,
 		EventsScheduled:      rs.EventsScheduled,
+		EventsCancelled:      rs.EventsCancelled,
 		QueueDepthHighWater:  rs.QueueDepthHighWater,
 		FreeListEvents:       rs.FreeListEvents,
 		Epochs:               rs.Epochs,
@@ -123,6 +127,7 @@ func (rs *RuntimeStats) Report() string {
 	}
 	fmt.Fprintf(&b, "    %-28s %d\n", "shards", shards)
 	fmt.Fprintf(&b, "    %-28s %d\n", "events scheduled", rs.EventsScheduled)
+	fmt.Fprintf(&b, "    %-28s %d\n", "events cancelled", rs.EventsCancelled)
 	fmt.Fprintf(&b, "    %-28s %d\n", "queue depth high water", rs.QueueDepthHighWater)
 	fmt.Fprintf(&b, "    %-28s %d\n", "event freelist len", rs.FreeListEvents)
 	if rs.Epochs > 0 {
